@@ -1,0 +1,205 @@
+//! Array element traits: which types can live in a LamellarArray and what
+//! operations they support.
+//!
+//! [`ArrayElem`] also carries the *native atomic* hooks behind
+//! `AtomicArray`'s two sub-types (paper Sec. III-F.1): "NativeAtomicArray —
+//! Elements are Rust atomic types" vs "GenericAtomicArray — Elements are
+//! protected by a 1-byte Mutex". Integer types override the hooks with real
+//! `Atomic*` operations (`NATIVE_ATOMIC = true`); other types fall back to
+//! the 1-byte-lock path implemented in [`crate::ops::apply`].
+
+use lamellar_codec::Codec;
+use lamellar_core::memregion::Dist;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Rem, Shl, Shr, Sub};
+
+/// A type that can be stored in a LamellarArray.
+pub trait ArrayElem:
+    Dist + Codec + PartialEq + PartialOrd + std::fmt::Debug + Send + Sync + 'static
+{
+    /// True when the type has a matching `std::sync::atomic` type of the
+    /// same width (the NativeAtomicArray path).
+    const NATIVE_ATOMIC: bool = false;
+
+    /// Atomic load from an element slot.
+    ///
+    /// # Safety
+    /// `ptr` must point at a live, properly-aligned element inside an
+    /// array's local block. Only called when `NATIVE_ATOMIC`.
+    unsafe fn atomic_load(_ptr: *mut Self) -> Self {
+        unimplemented!("type has no native atomics")
+    }
+
+    /// Atomic compare-exchange (weak) on an element slot; `Ok(previous)` on
+    /// success, `Err(actual)` on failure.
+    ///
+    /// # Safety
+    /// As [`ArrayElem::atomic_load`].
+    unsafe fn atomic_cas_weak(_ptr: *mut Self, _cur: Self, _new: Self) -> Result<Self, Self> {
+        unimplemented!("type has no native atomics")
+    }
+
+    /// Atomic store to an element slot.
+    ///
+    /// # Safety
+    /// As [`ArrayElem::atomic_load`].
+    unsafe fn atomic_store(_ptr: *mut Self, _v: Self) {
+        unimplemented!("type has no native atomics")
+    }
+
+    /// Atomic swap on an element slot, returning the previous value.
+    ///
+    /// # Safety
+    /// As [`ArrayElem::atomic_load`].
+    unsafe fn atomic_swap(_ptr: *mut Self, _v: Self) -> Self {
+        unimplemented!("type has no native atomics")
+    }
+}
+
+macro_rules! impl_elem_native {
+    ($($t:ty => $atomic:ty),* $(,)?) => {
+        $(
+            impl ArrayElem for $t {
+                const NATIVE_ATOMIC: bool = true;
+
+                unsafe fn atomic_load(ptr: *mut Self) -> Self {
+                    // SAFETY: caller guarantees a live aligned slot; the
+                    // atomic type has the same layout as the plain type.
+                    let a = unsafe { &*(ptr as *const $atomic) };
+                    a.load(std::sync::atomic::Ordering::SeqCst)
+                }
+
+                unsafe fn atomic_cas_weak(ptr: *mut Self, cur: Self, new: Self) -> Result<Self, Self> {
+                    // SAFETY: as above.
+                    let a = unsafe { &*(ptr as *const $atomic) };
+                    a.compare_exchange_weak(
+                        cur,
+                        new,
+                        std::sync::atomic::Ordering::SeqCst,
+                        std::sync::atomic::Ordering::SeqCst,
+                    )
+                }
+
+                unsafe fn atomic_store(ptr: *mut Self, v: Self) {
+                    // SAFETY: as above.
+                    let a = unsafe { &*(ptr as *const $atomic) };
+                    a.store(v, std::sync::atomic::Ordering::SeqCst)
+                }
+
+                unsafe fn atomic_swap(ptr: *mut Self, v: Self) -> Self {
+                    // SAFETY: as above.
+                    let a = unsafe { &*(ptr as *const $atomic) };
+                    a.swap(v, std::sync::atomic::Ordering::SeqCst)
+                }
+            }
+        )*
+    };
+}
+
+impl_elem_native!(
+    u8 => std::sync::atomic::AtomicU8,
+    u16 => std::sync::atomic::AtomicU16,
+    u32 => std::sync::atomic::AtomicU32,
+    u64 => std::sync::atomic::AtomicU64,
+    usize => std::sync::atomic::AtomicUsize,
+    i8 => std::sync::atomic::AtomicI8,
+    i16 => std::sync::atomic::AtomicI16,
+    i32 => std::sync::atomic::AtomicI32,
+    i64 => std::sync::atomic::AtomicI64,
+    isize => std::sync::atomic::AtomicIsize,
+);
+
+macro_rules! impl_elem_plain {
+    ($($t:ty),* $(,)?) => {
+        $( impl ArrayElem for $t {} )*
+    };
+}
+
+// No native atomic counterparts: these use the GenericAtomicArray
+// (1-byte-lock) path inside AtomicArray.
+impl_elem_plain!(f32, f64, u128, i128);
+
+/// Elements supporting the arithmetic batch operators
+/// (`+`, `-`, `*`, `/`, `%` — paper Sec. III-F.3).
+pub trait ArithElem:
+    ArrayElem
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Rem<Output = Self>
+{
+}
+
+impl<T> ArithElem for T where
+    T: ArrayElem
+        + Add<Output = T>
+        + Sub<Output = T>
+        + Mul<Output = T>
+        + Div<Output = T>
+        + Rem<Output = T>
+{
+}
+
+/// Elements supporting the bit-wise and shift batch operators
+/// (`&`, `|`, `^`, `<<`, `>>`).
+pub trait BitElem:
+    ArrayElem
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Shl<Output = Self>
+    + Shr<Output = Self>
+{
+}
+
+impl<T> BitElem for T where
+    T: ArrayElem
+        + BitAnd<Output = T>
+        + BitOr<Output = T>
+        + BitXor<Output = T>
+        + Shl<Output = T>
+        + Shr<Output = T>
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_native() {
+        assert!(usize::NATIVE_ATOMIC);
+        assert!(u8::NATIVE_ATOMIC);
+        assert!(i64::NATIVE_ATOMIC);
+        assert!(!f64::NATIVE_ATOMIC);
+        assert!(!u128::NATIVE_ATOMIC);
+    }
+
+    #[test]
+    fn native_hooks_behave_like_atomics() {
+        let mut slot = 10usize;
+        let p = &mut slot as *mut usize;
+        // SAFETY: slot is live and exclusively ours.
+        unsafe {
+            assert_eq!(usize::atomic_load(p), 10);
+            usize::atomic_store(p, 42);
+            assert_eq!(usize::atomic_swap(p, 7), 42);
+            assert_eq!(usize::atomic_cas_weak(p, 7, 8), Ok(7));
+            assert!(usize::atomic_cas_weak(p, 7, 9).is_err());
+            assert_eq!(usize::atomic_load(p), 8);
+        }
+    }
+
+    fn assert_arith<T: ArithElem>() {}
+    fn assert_bit<T: BitElem>() {}
+
+    #[test]
+    fn trait_coverage() {
+        assert_arith::<usize>();
+        assert_arith::<f64>();
+        assert_arith::<i32>();
+        assert_bit::<usize>();
+        assert_bit::<u8>();
+        // f64 is deliberately not BitElem (would not compile).
+    }
+}

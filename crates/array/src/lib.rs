@@ -1,0 +1,91 @@
+//! # lamellar-array
+//!
+//! The LamellarArray layer (paper Sec. III-F): *safe* PGAS distributed
+//! arrays built on the runtime's Darcs and SharedMemoryRegions.
+//!
+//! "While SharedMemoryRegions explicitly require users to calculate a
+//! PE-specific offset, LamellarArrays use 0-based indexing, with offsets
+//! calculated automatically by the runtime."
+//!
+//! ## The four array types (Sec. III-F.1)
+//!
+//! | type | guarantee |
+//! |------|-----------|
+//! | [`UnsafeArray`] | none — direct RDMA, `unsafe` API, internal use |
+//! | [`ReadOnlyArray`] | no writes possible — direct RDMA *get* is safe |
+//! | [`AtomicArray`] | element-wise atomicity (native atomics where the type has them, 1-byte lock otherwise) |
+//! | [`LocalLockArray`] | whole-PE-block RwLock |
+//!
+//! Arrays convert between types collectively ([`UnsafeArray::into_atomic`]
+//! etc.), succeeding only when each PE holds exactly one reference, so "the
+//! underlying data is only ever pointed-to by one array type at any time".
+//!
+//! ## Element-wise & batch operations (Sec. III-F.3)
+//!
+//! `array.add(5, 100)` adds 100 to global element 5 on whichever PE owns
+//! it; `array.batch_add(indices, 1)` aggregates thousands of such updates
+//! into per-destination-PE AMs, sub-batched at a configurable limit (the
+//! paper's evaluation used 10,000 ops per buffer). Safe array types "utilize
+//! AMs to emulate the behavior of direct RDMA operations, so all access to
+//! a remote PE's data is actually managed on that PE".
+//!
+//! ## Iteration (Sec. III-F.4)
+//!
+//! [`iter::DistIter`] (collective, parallel, global), [`iter::LocalIter`]
+//! (one-sided, parallel, local), and [`iter::OneSidedIter`] (serial, whole
+//! array, runtime-managed transfers).
+
+pub mod atomic;
+pub mod distribution;
+pub mod elem;
+pub mod inner;
+pub mod iter;
+pub mod local_lock;
+pub mod ops;
+pub mod read_only;
+pub mod reduce;
+pub mod unsafe_array;
+
+pub use atomic::AtomicArray;
+pub use distribution::Distribution;
+pub use elem::ArrayElem;
+pub use local_lock::LocalLockArray;
+pub use read_only::ReadOnlyArray;
+pub use unsafe_array::UnsafeArray;
+
+use lamellar_core::team::LamellarTeam;
+
+/// Anything that names a team for collective array construction: a
+/// [`lamellar_core::world::LamellarWorld`] (whole-world team) or a
+/// [`LamellarTeam`].
+pub trait IntoTeam {
+    /// The team the array will be distributed over.
+    fn into_team(&self) -> LamellarTeam;
+}
+
+impl IntoTeam for lamellar_core::world::LamellarWorld {
+    fn into_team(&self) -> LamellarTeam {
+        self.team()
+    }
+}
+
+impl IntoTeam for LamellarTeam {
+    fn into_team(&self) -> LamellarTeam {
+        self.clone()
+    }
+}
+
+/// Re-exports mirroring `lamellar::array::prelude` from the paper's
+/// Listing 2.
+pub mod prelude {
+    pub use crate::atomic::AtomicArray;
+    pub use crate::distribution::Distribution;
+    pub use crate::elem::ArrayElem;
+    pub use crate::iter::{DistIterExt, LocalIterExt};
+    pub use crate::local_lock::LocalLockArray;
+    pub use crate::ops::BatchValues;
+    pub use crate::read_only::ReadOnlyArray;
+    pub use crate::reduce::ReduceOp;
+    pub use crate::unsafe_array::UnsafeArray;
+    pub use crate::IntoTeam;
+}

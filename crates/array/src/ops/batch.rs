@@ -1,0 +1,340 @@
+//! Batch planning, dispatch, and the op-handle futures.
+//!
+//! "The runtime calculates the correct PEs and offsets for each array
+//! index, batching operations by destination PE within a single message.
+//! ... the runtime automatically splits batch_add into sub-batches"
+//! (Sec. III-F.3 / IV-B.1).
+
+use crate::elem::{ArithElem, ArrayElem, BitElem};
+use crate::inner::RawArray;
+use crate::ops::am::{
+    AccessBatchAm, ArithBatchAm, BitBatchAm, CasBatchAm, RangeGetAm, RangePutAm,
+};
+use crate::ops::{AccessOp, ArithOp, BatchValues, BitOp};
+use lamellar_core::am::{AmHandle, LamellarAm};
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Default sub-batch limit — the paper's evaluation "limited aggregations
+/// to 10,000 operations per buffer".
+pub const DEFAULT_BATCH_LIMIT: usize = 10_000;
+
+type BoxFut<T> = Pin<Box<dyn Future<Output = T> + Send + 'static>>;
+
+macro_rules! handle_type {
+    ($(#[$meta:meta])* $name:ident, $out:ty) => {
+        $(#[$meta])*
+        pub struct $name<T: Send + 'static> {
+            fut: BoxFut<$out>,
+            _marker: std::marker::PhantomData<fn() -> T>,
+        }
+
+        impl<T: Send + 'static> $name<T> {
+            fn wrap(fut: BoxFut<$out>) -> Self {
+                $name { fut, _marker: std::marker::PhantomData }
+            }
+        }
+
+        impl<T: Send + 'static> Future for $name<T> {
+            type Output = $out;
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                self.fut.as_mut().poll(cx)
+            }
+        }
+
+        impl<T: Send + 'static> std::fmt::Debug for $name<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(stringify!($name))
+            }
+        }
+    };
+}
+
+handle_type!(
+    /// Future of a non-fetching element/batch op; resolves when every
+    /// destination PE has applied it.
+    ArrayOpHandle, ());
+handle_type!(
+    /// Future of a single fetching op (`fetch_add`, `load`, `swap`, …).
+    FetchOpHandle, T);
+handle_type!(
+    /// Future of a fetching batch op; values in input order.
+    BatchFetchHandle, Vec<T>);
+handle_type!(
+    /// Future of a single compare-exchange.
+    CasHandle, Result<T, T>);
+handle_type!(
+    /// Future of a batch compare-exchange; results in input order.
+    BatchCasHandle, Vec<Result<T, T>>);
+
+/// Where each input position landed: destination rank and position within
+/// that rank's (concatenated) result stream.
+struct Plan {
+    /// Per-rank local indices, in arrival order.
+    bins: Vec<Vec<usize>>,
+    /// Per-rank input positions (for slicing `Many` values).
+    input_pos: Vec<Vec<usize>>,
+    /// `(rank, pos)` for every input position.
+    positions: Vec<(u32, u32)>,
+}
+
+fn plan<T: ArrayElem>(raw: &RawArray<T>, indices: &[usize]) -> Plan {
+    let n_ranks = raw.layout.num_ranks;
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); n_ranks];
+    let mut input_pos: Vec<Vec<usize>> = vec![Vec::new(); n_ranks];
+    let mut positions = Vec::with_capacity(indices.len());
+    for (i, &g) in indices.iter().enumerate() {
+        let (rank, local) = raw.locate(g);
+        positions.push((rank as u32, bins[rank].len() as u32));
+        bins[rank].push(local);
+        input_pos[rank].push(i);
+    }
+    Plan { bins, input_pos, positions }
+}
+
+/// Slice values for one sub-batch out of the full `BatchValues`.
+fn chunk_values<T: ArrayElem>(values: &BatchValues<T>, pos: &[usize]) -> BatchValues<T> {
+    match values {
+        BatchValues::One(v) => BatchValues::One(*v),
+        BatchValues::Many(vs) => BatchValues::Many(pos.iter().map(|&i| vs[i]).collect()),
+    }
+}
+
+/// Generic fan-out: bin by rank, sub-batch, launch one AM per sub-batch,
+/// and reassemble results in input order.
+fn launch<T, R, A>(
+    raw: &RawArray<T>,
+    indices: Vec<usize>,
+    limit: usize,
+    fetch: bool,
+    make: impl Fn(Vec<usize>, &[usize]) -> A,
+) -> BoxFut<Vec<R>>
+where
+    T: ArrayElem,
+    R: Send + 'static,
+    A: LamellarAm<Output = Vec<R>>,
+{
+    let limit = limit.max(1);
+    let Plan { bins, input_pos, positions } = plan(raw, &indices);
+    let rt = raw.region.rt().clone();
+    // One handle list per rank, each holding that rank's sub-batches in
+    // order so concatenation preserves per-rank positions.
+    let mut handles: Vec<Vec<AmHandle<Vec<R>>>> = Vec::with_capacity(bins.len());
+    for (rank, (bin, pos)) in bins.into_iter().zip(&input_pos).enumerate() {
+        let mut rank_handles = Vec::new();
+        if !bin.is_empty() {
+            let pe = raw.pe_of_rank(rank);
+            let mut start = 0;
+            while start < bin.len() {
+                let end = (start + limit).min(bin.len());
+                let am = make(bin[start..end].to_vec(), &pos[start..end]);
+                rank_handles.push(rt.exec_am_pe(pe, am));
+                start = end;
+            }
+        }
+        handles.push(rank_handles);
+    }
+    Box::pin(async move {
+        let mut per_rank: Vec<Vec<R>> = Vec::with_capacity(handles.len());
+        for rank_handles in handles {
+            let mut results = Vec::new();
+            for h in rank_handles {
+                results.extend(h.await);
+            }
+            per_rank.push(results);
+        }
+        if !fetch {
+            return Vec::new();
+        }
+        let mut iters: Vec<std::vec::IntoIter<R>> =
+            per_rank.into_iter().map(|v| v.into_iter()).collect();
+        // Results within a rank come back in submission order, so walking
+        // the recorded positions in input order drains each rank's stream
+        // in order.
+        positions
+            .into_iter()
+            .map(|(rank, _pos)| iters[rank as usize].next().expect("result per input"))
+            .collect()
+    })
+}
+
+/// Batched arithmetic op.
+pub(crate) fn batch_arith<T: ArithElem>(
+    raw: &RawArray<T>,
+    limit: usize,
+    op: ArithOp,
+    indices: Vec<usize>,
+    values: BatchValues<T>,
+    fetch: bool,
+) -> BatchFetchHandle<T> {
+    let (indices, values) = crate::ops::normalize_batch(indices, values);
+    let raw2 = raw.clone();
+    let fut = launch(raw, indices, limit, fetch, move |idxs, pos| ArithBatchAm {
+        raw: raw2.clone(),
+        op,
+        idxs,
+        vals: chunk_values(&values, pos),
+        fetch,
+    });
+    BatchFetchHandle::wrap(fut)
+}
+
+/// Batched bit-wise op.
+pub(crate) fn batch_bit<T: BitElem>(
+    raw: &RawArray<T>,
+    limit: usize,
+    op: BitOp,
+    indices: Vec<usize>,
+    values: BatchValues<T>,
+    fetch: bool,
+) -> BatchFetchHandle<T> {
+    let (indices, values) = crate::ops::normalize_batch(indices, values);
+    let raw2 = raw.clone();
+    let fut = launch(raw, indices, limit, fetch, move |idxs, pos| BitBatchAm {
+        raw: raw2.clone(),
+        op,
+        idxs,
+        vals: chunk_values(&values, pos),
+        fetch,
+    });
+    BatchFetchHandle::wrap(fut)
+}
+
+/// Batched load/store/swap.
+pub(crate) fn batch_access<T: ArrayElem>(
+    raw: &RawArray<T>,
+    limit: usize,
+    op: AccessOp,
+    indices: Vec<usize>,
+    values: Option<BatchValues<T>>,
+    fetch: bool,
+) -> BatchFetchHandle<T> {
+    let (indices, values) = match values {
+        Some(v) => {
+            let (i, v) = crate::ops::normalize_batch(indices, v);
+            (i, Some(v))
+        }
+        None => (indices, None),
+    };
+    let want_results = fetch || op == AccessOp::Load || op == AccessOp::Swap;
+    let raw2 = raw.clone();
+    let fut = launch(raw, indices, limit, want_results, move |idxs, pos| AccessBatchAm {
+        raw: raw2.clone(),
+        op,
+        idxs,
+        vals: values.as_ref().map(|v| chunk_values(v, pos)),
+        fetch,
+    });
+    BatchFetchHandle::wrap(fut)
+}
+
+/// Batched compare-exchange.
+pub(crate) fn batch_cas<T: ArrayElem>(
+    raw: &RawArray<T>,
+    limit: usize,
+    indices: Vec<usize>,
+    current: BatchValues<T>,
+    new: BatchValues<T>,
+) -> BatchCasHandle<T> {
+    let (indices, new) = crate::ops::normalize_batch(indices, new);
+    let raw2 = raw.clone();
+    let fut = launch(raw, indices, limit, true, move |idxs, pos| {
+        let pairs =
+            pos.iter().map(|&i| (current.value_at(i), new.value_at(i))).collect::<Vec<_>>();
+        CasBatchAm { raw: raw2.clone(), idxs, pairs }
+    });
+    BatchCasHandle::wrap(fut)
+}
+
+/// An already-completed `()` handle (used when a transfer completed
+/// synchronously via direct RDMA).
+pub(crate) fn noop_handle<T: ArrayElem>() -> ArrayOpHandle<T> {
+    ArrayOpHandle::wrap(Box::pin(async {}))
+}
+
+/// Wrap a batch future into the non-fetching `()` handle.
+pub(crate) fn discard<T: ArrayElem>(h: BatchFetchHandle<T>) -> ArrayOpHandle<T> {
+    ArrayOpHandle::wrap(Box::pin(async move {
+        h.await;
+    }))
+}
+
+/// Wrap a 1-element fetch batch into a scalar handle.
+pub(crate) fn scalar<T: ArrayElem>(h: BatchFetchHandle<T>) -> FetchOpHandle<T> {
+    FetchOpHandle::wrap(Box::pin(async move {
+        let mut v = h.await;
+        debug_assert_eq!(v.len(), 1);
+        v.pop().expect("single result")
+    }))
+}
+
+/// Wrap a 1-element CAS batch into a scalar handle.
+pub(crate) fn scalar_cas<T: ArrayElem>(h: BatchCasHandle<T>) -> CasHandle<T> {
+    CasHandle::wrap(Box::pin(async move {
+        let mut v = h.await;
+        debug_assert_eq!(v.len(), 1);
+        v.pop().expect("single result")
+    }))
+}
+
+/// Array-level RDMA-like `put`: write `vals` at global indices
+/// `start..start + vals.len()`, split by owning PE (Sec. III-F.2).
+pub(crate) fn range_put<T: ArrayElem>(
+    raw: &RawArray<T>,
+    start: usize,
+    vals: Vec<T>,
+) -> ArrayOpHandle<T> {
+    assert!(
+        start + vals.len() <= raw.len(),
+        "put range [{start}, {}) out of bounds (len {})",
+        start + vals.len(),
+        raw.len()
+    );
+    let rt = raw.region.rt().clone();
+    let mut handles = Vec::new();
+    // Split the global range into per-owner contiguous local runs.
+    let mut i = 0;
+    for (rank, local, run) in raw.runs(start, vals.len()) {
+        let am = RangePutAm {
+            raw: raw.clone(),
+            start: local,
+            vals: vals[i..i + run].to_vec(),
+        };
+        handles.push(rt.exec_am_pe(raw.pe_of_rank(rank), am));
+        i += run;
+    }
+    ArrayOpHandle::wrap(Box::pin(async move {
+        for h in handles {
+            h.await;
+        }
+    }))
+}
+
+/// Array-level RDMA-like `get`: read `n` elements starting at global index
+/// `start`, in order.
+pub(crate) fn range_get<T: ArrayElem>(
+    raw: &RawArray<T>,
+    start: usize,
+    n: usize,
+) -> BatchFetchHandle<T> {
+    assert!(
+        start + n <= raw.len(),
+        "get range [{start}, {}) out of bounds (len {})",
+        start + n,
+        raw.len()
+    );
+    let rt = raw.region.rt().clone();
+    let mut handles = Vec::new();
+    for (rank, local, run) in raw.runs(start, n) {
+        let am = RangeGetAm { raw: raw.clone(), start: local, n: run };
+        handles.push(rt.exec_am_pe(raw.pe_of_rank(rank), am));
+    }
+    BatchFetchHandle::wrap(Box::pin(async move {
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.await);
+        }
+        out
+    }))
+}

@@ -1,0 +1,336 @@
+//! Integration tests: array construction, element/batch ops, conversions.
+
+use lamellar_array::prelude::*;
+use lamellar_core::world::launch;
+
+#[test]
+fn atomic_array_listing2_histogram_shape() {
+    // Listing 2 of the paper, scaled down: batch_add random indices, then
+    // sum-reduce to verify no updates were lost.
+    const T_LEN: usize = 1_000;
+    const L_UPDATES: usize = 20_000;
+    let results = launch(4, move |world| {
+        let table = AtomicArray::<usize>::new(&world, T_LEN, Distribution::Block);
+        // Deterministic per-PE "random" indices.
+        let rnd_i: Vec<usize> =
+            (0..L_UPDATES).map(|i| (i * 2654435761 + world.my_pe() * 97) % T_LEN).collect();
+        world.barrier();
+        world.block_on(table.batch_add(rnd_i, 1));
+        world.wait_all();
+        world.barrier();
+        let sum = world.block_on(table.sum());
+        assert_eq!(sum, L_UPDATES * world.num_pes());
+        world.barrier();
+        sum
+    });
+    assert!(results.iter().all(|&s| s == L_UPDATES * 4));
+}
+
+#[test]
+fn single_element_ops_route_to_owner() {
+    launch(3, |world| {
+        let arr = AtomicArray::<u64>::new(&world, 30, Distribution::Block);
+        world.barrier();
+        if world.my_pe() == 0 {
+            // Touch an element on every PE's block (block size 10).
+            for i in [0usize, 5, 10, 15, 20, 29] {
+                world.block_on(arr.add(i, i as u64 + 1));
+            }
+            assert_eq!(world.block_on(arr.fetch_add(5, 100)), 6);
+            assert_eq!(world.block_on(arr.load(5)), 106);
+            assert_eq!(world.block_on(arr.swap(29, 7)), 30);
+            world.block_on(arr.store(20, 555));
+            assert_eq!(world.block_on(arr.load(20)), 555);
+        }
+        world.wait_all();
+        world.barrier();
+    });
+}
+
+#[test]
+fn arith_and_bit_ops_match_scalar_semantics() {
+    launch(2, |world| {
+        let arr = AtomicArray::<u64>::new(&world, 8, Distribution::Cyclic);
+        world.barrier();
+        if world.my_pe() == 0 {
+            world.block_on(arr.store(3, 100));
+            world.block_on(arr.sub(3, 30));
+            assert_eq!(world.block_on(arr.load(3)), 70);
+            world.block_on(arr.mul(3, 2));
+            assert_eq!(world.block_on(arr.load(3)), 140);
+            world.block_on(arr.div(3, 7));
+            assert_eq!(world.block_on(arr.load(3)), 20);
+            world.block_on(arr.rem(3, 6));
+            assert_eq!(world.block_on(arr.load(3)), 2);
+            // Bit ops, including the paper's example:
+            // batch_bit_or([0, 5, 6], [127, 0, 64]).
+            world.block_on(arr.batch_store(vec![0, 5, 6], vec![0u64, 105, 0]));
+            world.block_on(arr.batch_bit_or(vec![0, 5, 6], vec![127u64, 0, 64]));
+            assert_eq!(world.block_on(arr.batch_load(vec![0, 5, 6])), vec![127, 105, 64]);
+            world.block_on(arr.bit_and(0, 0b1010));
+            assert_eq!(world.block_on(arr.load(0)), 0b1010);
+            world.block_on(arr.bit_xor(0, 0b0110));
+            assert_eq!(world.block_on(arr.load(0)), 0b1100);
+            world.block_on(arr.shl(0, 2));
+            assert_eq!(world.block_on(arr.load(0)), 0b110000);
+            world.block_on(arr.shr(0, 4));
+            assert_eq!(world.block_on(arr.load(0)), 0b11);
+        }
+        world.wait_all();
+        world.barrier();
+    });
+}
+
+#[test]
+fn batch_forms_many_one_and_one_many_and_many_many() {
+    launch(2, |world| {
+        let arr = AtomicArray::<u64>::new(&world, 16, Distribution::Block);
+        world.barrier();
+        if world.my_pe() == 0 {
+            // Many indices - one value (paper: batch_store([20, 2], 10)).
+            world.block_on(arr.batch_store(vec![12, 2], 10u64));
+            assert_eq!(world.block_on(arr.batch_load(vec![2, 12])), vec![10, 10]);
+            // One index - many values (paper: batch_mul(20, [2, 10]):
+            // multiply by 2 then by 10).
+            world.block_on(arr.batch_mul(vec![12], vec![2u64, 10]));
+            assert_eq!(world.block_on(arr.load(12)), 200);
+            // Many-many, with fetch: previous values in input order.
+            let prev = world.block_on(arr.batch_fetch_add(vec![2, 12, 2], vec![1u64, 2, 3]));
+            assert_eq!(prev, vec![10, 200, 11]);
+        }
+        world.wait_all();
+        world.barrier();
+    });
+}
+
+#[test]
+fn batch_ops_from_all_pes_are_atomic() {
+    // All PEs hammer the same few elements; total must be exact.
+    launch(4, |world| {
+        let arr = AtomicArray::<usize>::new(&world, 4, Distribution::Cyclic);
+        world.barrier();
+        let indices: Vec<usize> = (0..4000).map(|i| i % 4).collect();
+        world.block_on(arr.batch_add(indices, 1));
+        world.wait_all();
+        world.barrier();
+        let sum = world.block_on(arr.sum());
+        assert_eq!(sum, 4000 * world.num_pes());
+        world.barrier();
+    });
+}
+
+#[test]
+fn generic_atomic_array_is_also_exact() {
+    // Force the 1-byte-lock (GenericAtomicArray) path on a native type.
+    launch(2, |world| {
+        let arr = AtomicArray::<usize>::new_generic(&world, 8, Distribution::Block);
+        assert!(!arr.is_native());
+        world.barrier();
+        let indices: Vec<usize> = (0..2000).map(|i| i % 8).collect();
+        world.block_on(arr.batch_add(indices, 1));
+        world.wait_all();
+        world.barrier();
+        assert_eq!(world.block_on(arr.sum()), 2000 * 2);
+        world.barrier();
+    });
+}
+
+#[test]
+fn f64_arrays_use_generic_path() {
+    launch(2, |world| {
+        let arr = AtomicArray::<f64>::new(&world, 4, Distribution::Block);
+        assert!(!arr.is_native(), "f64 has no native atomics");
+        world.barrier();
+        world.block_on(arr.batch_add(vec![world.my_pe()], 1.5f64));
+        world.wait_all();
+        world.barrier();
+        let sum = world.block_on(arr.sum());
+        assert!((sum - 3.0).abs() < 1e-9);
+        world.barrier();
+    });
+}
+
+#[test]
+fn compare_exchange_single_and_batch() {
+    launch(2, |world| {
+        let arr = AtomicArray::<u64>::new(&world, 10, Distribution::Block);
+        world.barrier();
+        if world.my_pe() == 0 {
+            assert_eq!(world.block_on(arr.compare_exchange(7, 0, 42)), Ok(0));
+            assert_eq!(world.block_on(arr.compare_exchange(7, 0, 43)), Err(42));
+            // Batch: darts at slots 1,7,9 expecting empty (0).
+            let res =
+                world.block_on(arr.batch_compare_exchange(vec![1, 7, 9], 0u64, vec![11u64, 12, 13]));
+            assert_eq!(res, vec![Ok(0), Err(42), Ok(0)]);
+            assert_eq!(world.block_on(arr.batch_load(vec![1, 7, 9])), vec![11, 42, 13]);
+        }
+        world.wait_all();
+        world.barrier();
+    });
+}
+
+#[test]
+fn local_lock_array_ops_and_guards() {
+    launch(2, |world| {
+        let arr = LocalLockArray::<u64>::new(&world, 8, Distribution::Block);
+        world.barrier();
+        // Fill my local block through the write guard.
+        {
+            let mut guard = arr.write_local_data();
+            for (i, v) in guard.iter_mut().enumerate() {
+                *v = (world.my_pe() * 100 + i) as u64;
+            }
+        }
+        world.barrier();
+        // Remote reads through ops see the writes.
+        let other = 1 - world.my_pe();
+        let remote_first = world.block_on(arr.load(other * 4));
+        assert_eq!(remote_first, other as u64 * 100);
+        // Read guard sees my own data.
+        let guard = arr.read_local_data();
+        assert_eq!(guard[1], world.my_pe() as u64 * 100 + 1);
+        drop(guard);
+        world.wait_all();
+        world.barrier();
+    });
+}
+
+#[test]
+fn unsafe_array_direct_rdma_and_conversion_chain() {
+    launch(2, |world| {
+        let arr = UnsafeArray::<u32>::new(&world, 12, Distribution::Block);
+        world.barrier();
+        if world.my_pe() == 0 {
+            // SAFETY: PE1 does not touch the array until the barrier.
+            unsafe { arr.put_unchecked(0, &(0..12).map(|i| i * 3).collect::<Vec<_>>()) };
+        }
+        world.barrier();
+        // Everyone reads it back directly.
+        let mut buf = vec![0u32; 12];
+        // SAFETY: writes finished before the barrier.
+        unsafe { arr.get_unchecked(0, &mut buf) };
+        assert_eq!(buf, (0..12).map(|i| i * 3).collect::<Vec<_>>());
+        world.barrier();
+        // Convert: Unsafe -> ReadOnly -> Atomic -> LocalLock -> Unsafe.
+        let ro = arr.into_read_only();
+        let mut buf2 = vec![0u32; 12];
+        ro.get_direct(0, &mut buf2);
+        assert_eq!(buf2, buf);
+        let atomic = ro.into_atomic();
+        world.block_on(atomic.add(0, 1));
+        world.wait_all();
+        world.barrier();
+        let ll = atomic.into_local_lock();
+        let expected0 = world.block_on(ll.load(0));
+        assert_eq!(expected0, 2); // both PEs added 1
+        world.barrier();
+        let us = ll.into_unsafe();
+        assert_eq!(us.len(), 12);
+        world.barrier();
+    });
+}
+
+#[test]
+fn sub_arrays_share_storage_with_offset_indexing() {
+    launch(2, |world| {
+        let arr = AtomicArray::<u64>::new(&world, 20, Distribution::Block);
+        world.barrier();
+        let sub = arr.sub_array(5..15);
+        assert_eq!(sub.len(), 10);
+        if world.my_pe() == 0 {
+            world.block_on(sub.store(0, 99)); // parent index 5
+            assert_eq!(world.block_on(arr.load(5)), 99);
+            world.block_on(arr.store(14, 44));
+            assert_eq!(world.block_on(sub.load(9)), 44);
+        }
+        world.wait_all();
+        world.barrier();
+        // Reductions over the sub-view only see its elements.
+        if world.my_pe() == 0 {
+            let total: u64 = world.block_on(sub.sum());
+            assert_eq!(total, 99 + 44);
+        }
+        world.barrier();
+    });
+}
+
+#[test]
+fn array_rdma_like_put_get_span_pes() {
+    launch(3, |world| {
+        let arr = AtomicArray::<u64>::new(&world, 30, Distribution::Block);
+        world.barrier();
+        if world.my_pe() == 0 {
+            // Write a range spanning all three PEs' blocks (block size 10).
+            let vals: Vec<u64> = (0..25).map(|i| 1000 + i).collect();
+            world.block_on(arr.put(3, vals.clone()));
+            let back = world.block_on(arr.get(3, 25));
+            assert_eq!(back, vals);
+        }
+        world.wait_all();
+        world.barrier();
+    });
+}
+
+#[test]
+fn cyclic_distribution_ops_are_correct() {
+    launch(3, |world| {
+        let arr = AtomicArray::<usize>::new(&world, 30, Distribution::Cyclic);
+        world.barrier();
+        if world.my_pe() == 0 {
+            // store i at index i for all i; each lands on rank i % 3.
+            let idxs: Vec<usize> = (0..30).collect();
+            let vals: Vec<usize> = (0..30).collect();
+            world.block_on(arr.batch_store(idxs.clone(), vals));
+            assert_eq!(world.block_on(arr.batch_load(idxs)), (0..30).collect::<Vec<_>>());
+        }
+        world.wait_all();
+        world.barrier();
+        // Each PE's local data: elements ≡ rank (mod 3).
+        let n_local = arr.num_elems_local();
+        assert_eq!(n_local, 10);
+        world.barrier();
+    });
+}
+
+#[test]
+fn reductions_all_ops() {
+    launch(2, |world| {
+        let arr = AtomicArray::<u64>::new(&world, 6, Distribution::Block);
+        world.barrier();
+        if world.my_pe() == 0 {
+            world.block_on(arr.batch_store((0..6).collect(), vec![4u64, 2, 9, 1, 7, 5]));
+        }
+        world.wait_all();
+        world.barrier();
+        assert_eq!(world.block_on(arr.sum()), 28);
+        assert_eq!(world.block_on(arr.min()), Some(1));
+        assert_eq!(world.block_on(arr.max()), Some(9));
+        let prod = world.block_on(arr.prod());
+        assert_eq!(prod, 4 * 2 * 9 * 7 * 5);
+        world.barrier();
+    });
+}
+
+#[test]
+fn readonly_batch_load_index_gather_shape() {
+    // The IndexGather core: target = table.batch_load(rnd_idxs).
+    launch(2, |world| {
+        let arr = UnsafeArray::<u64>::new(&world, 64, Distribution::Block);
+        world.barrier();
+        if world.my_pe() == 0 {
+            // SAFETY: only writer, before the barrier.
+            unsafe {
+                arr.put_unchecked(0, &(0..64).map(|i| i * i).collect::<Vec<u64>>());
+            }
+        }
+        world.barrier();
+        let table = arr.into_read_only();
+        let rnd: Vec<usize> = (0..500).map(|i| (i * 31) % 64).collect();
+        let target = world.block_on(table.batch_load(rnd.clone()));
+        for (i, &idx) in rnd.iter().enumerate() {
+            assert_eq!(target[i], (idx * idx) as u64);
+        }
+        world.wait_all();
+        world.barrier();
+    });
+}

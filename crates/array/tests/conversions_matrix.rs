@@ -1,0 +1,95 @@
+//! The full conversion matrix between array types: every path preserves
+//! contents, and the resulting type's ops behave.
+
+use lamellar_array::prelude::*;
+use lamellar_core::world::launch;
+
+fn filled(world: &lamellar_core::world::LamellarWorld) -> UnsafeArray<u64> {
+    let arr = UnsafeArray::<u64>::new(world, 12, Distribution::Block);
+    world.barrier();
+    if world.my_pe() == 0 {
+        // SAFETY: sole writer; barrier below synchronizes.
+        unsafe { arr.put_unchecked(0, &(0..12).map(|i| i * 7).collect::<Vec<_>>()) };
+    }
+    world.barrier();
+    arr
+}
+
+fn assert_contents(world: &lamellar_core::world::LamellarWorld, got: Vec<u64>) {
+    assert_eq!(got, (0..12).map(|i| i * 7).collect::<Vec<u64>>());
+    world.barrier();
+}
+
+#[test]
+fn unsafe_to_each_type_and_back() {
+    launch(2, |world| {
+        // Unsafe -> Atomic -> Unsafe
+        let a = filled(&world).into_atomic();
+        assert_contents(&world, world.block_on(a.get(0, 12)));
+        let u = a.into_unsafe();
+        // Unsafe -> LocalLock -> Unsafe
+        let l = u.into_local_lock();
+        assert_contents(&world, world.block_on(l.get(0, 12)));
+        let u = l.into_unsafe();
+        // Unsafe -> ReadOnly (terminal read checks)
+        let r = u.into_read_only();
+        let mut direct = vec![0u64; 12];
+        r.get_direct(0, &mut direct);
+        assert_contents(&world, direct);
+        world.barrier();
+    });
+}
+
+#[test]
+fn atomic_to_local_lock_to_read_only() {
+    launch(2, |world| {
+        let a = filled(&world).into_atomic();
+        // Mutate through the atomic API first.
+        if world.my_pe() == 0 {
+            world.block_on(a.add(0, 1));
+        }
+        world.wait_all();
+        world.barrier();
+        let l = a.into_local_lock();
+        if world.my_pe() == 1 {
+            world.block_on(l.sub(0, 1));
+        }
+        world.wait_all();
+        world.barrier();
+        let r = l.into_read_only();
+        assert_contents(&world, {
+            let mut out = vec![0u64; 12];
+            r.get_direct(0, &mut out);
+            out
+        });
+    });
+}
+
+#[test]
+fn read_only_back_to_atomic_is_writable_again() {
+    launch(2, |world| {
+        let r = filled(&world).into_read_only();
+        let a = r.into_atomic();
+        if world.my_pe() == 0 {
+            world.block_on(a.store(5, 999));
+        }
+        world.wait_all();
+        world.barrier();
+        assert_eq!(world.block_on(a.load(5)), 999);
+        world.barrier();
+    });
+}
+
+#[test]
+fn conversions_preserve_sum_across_types() {
+    launch(3, |world| {
+        let expect: u64 = (0..12).map(|i| i * 7).sum();
+        let a = filled(&world).into_atomic();
+        assert_eq!(world.block_on(a.sum()), expect);
+        let l = a.into_local_lock();
+        assert_eq!(world.block_on(l.sum()), expect);
+        let r = l.into_read_only();
+        assert_eq!(world.block_on(r.sum()), expect);
+        world.barrier();
+    });
+}

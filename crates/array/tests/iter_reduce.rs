@@ -1,0 +1,197 @@
+//! Integration tests: the three iterator families and reductions.
+
+use lamellar_array::iter::DistIterExt;
+use lamellar_array::prelude::*;
+use lamellar_core::world::launch;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn filled_atomic(world: &lamellar_core::world::LamellarWorld, n: usize) -> AtomicArray<u64> {
+    let arr = AtomicArray::<u64>::new(world, n, Distribution::Block);
+    world.barrier();
+    if world.my_pe() == 0 {
+        let idxs: Vec<usize> = (0..n).collect();
+        let vals: Vec<u64> = (0..n as u64).collect();
+        world.block_on(arr.batch_store(idxs, vals));
+    }
+    world.wait_all();
+    world.barrier();
+    arr
+}
+
+#[test]
+fn dist_iter_for_each_touches_local_elements_once() {
+    launch(3, |world| {
+        let arr = filled_atomic(&world, 30);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        world.block_on(arr.dist_iter().for_each(move |_v| {
+            c.fetch_add(1, Ordering::Relaxed);
+        }));
+        // Each PE iterates only its own block (30 / 3 PEs).
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        world.barrier();
+    });
+}
+
+#[test]
+fn dist_iter_enumerate_yields_global_indices() {
+    launch(2, |world| {
+        let arr = filled_atomic(&world, 16);
+        let pairs = world.block_on(arr.dist_iter().enumerate().collect_local());
+        // Values were set to their index, so enumerate must agree.
+        for (idx, v) in &pairs {
+            assert_eq!(*idx as u64, *v);
+        }
+        // PE0 owns 0..8, PE1 owns 8..16 (Block).
+        let min = pairs.iter().map(|(i, _)| *i).min().unwrap();
+        assert_eq!(min, world.my_pe() * 8);
+        world.barrier();
+    });
+}
+
+#[test]
+fn dist_iter_map_filter_chain() {
+    launch(2, |world| {
+        let arr = filled_atomic(&world, 20);
+        let odds_doubled = world.block_on(
+            arr.dist_iter()
+                .filter(|v| v % 2 == 1)
+                .map(|v| v * 2)
+                .collect_local(),
+        );
+        for v in &odds_doubled {
+            assert_eq!((v / 2) % 2, 1);
+        }
+        assert_eq!(odds_doubled.len(), 5); // half of this PE's 10 elements
+        world.barrier();
+    });
+}
+
+#[test]
+fn dist_iter_skip_step_take_select_by_position() {
+    launch(2, |world| {
+        let arr = filled_atomic(&world, 20);
+        // Positions 4, 8, 12, 16 (skip 4, every 4th, below 18).
+        let selected: usize = world.block_on(
+            arr.dist_iter().skip(4).step_by(4).take(18).count_local(),
+        );
+        world.barrier();
+        // Summed across both PEs: indices {4,8,12,16} → 4 total.
+        let total = world.team().deposit_all(selected).iter().sum::<usize>();
+        assert_eq!(total, 4);
+        world.barrier();
+    });
+}
+
+#[test]
+fn dist_iter_collect_array_concatenates_in_rank_order() {
+    launch(3, |world| {
+        let arr = filled_atomic(&world, 30);
+        // Keep elements < 25 (drops the tail of rank 2's block).
+        let collected = arr
+            .dist_iter()
+            .filter(|v| *v < 25)
+            .collect_array(Distribution::Block);
+        assert_eq!(collected.len(), 25);
+        let mut buf = vec![0u64; 25];
+        // SAFETY: collect_array barriers before returning; read-only now.
+        unsafe { collected.get_unchecked(0, &mut buf) };
+        assert_eq!(buf, (0..25).collect::<Vec<u64>>());
+        world.barrier();
+    });
+}
+
+#[test]
+fn local_iter_sees_only_local_data() {
+    launch(2, |world| {
+        use lamellar_array::iter::LocalIterExt;
+        let arr = filled_atomic(&world, 12);
+        let local = world.block_on(arr.local_iter().collect());
+        let expect: Vec<u64> =
+            (0..6).map(|i| (world.my_pe() * 6 + i) as u64).collect();
+        assert_eq!(local, expect);
+        // Enumerate yields *local* indices.
+        let pairs = world.block_on(arr.local_iter().enumerate().collect());
+        for (i, (idx, _)) in pairs.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+        world.barrier();
+    });
+}
+
+#[test]
+fn local_iter_zip_pairs_two_arrays() {
+    launch(2, |world| {
+        use lamellar_array::iter::LocalIterExt;
+        let a = filled_atomic(&world, 10);
+        let b = AtomicArray::<u64>::new(&world, 10, Distribution::Block);
+        world.barrier();
+        if world.my_pe() == 0 {
+            world.block_on(b.batch_store((0..10).collect(), (0..10).map(|i| i * 100).collect::<Vec<u64>>()));
+        }
+        world.wait_all();
+        world.barrier();
+        let pairs = world.block_on(a.local_iter().zip(&b.local_iter()).collect());
+        for (x, y) in pairs {
+            assert_eq!(y, x * 100);
+        }
+        world.barrier();
+    });
+}
+
+#[test]
+fn local_iter_chunks_snapshot_in_order() {
+    launch(1, |world| {
+        use lamellar_array::iter::LocalIterExt;
+        let arr = filled_atomic(&world, 10);
+        let chunks: Vec<Vec<u64>> = arr.local_iter().chunks(4).collect();
+        assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+    });
+}
+
+#[test]
+fn onesided_iter_walks_whole_array_in_global_order() {
+    launch(3, |world| {
+        let arr = filled_atomic(&world, 25);
+        if world.my_pe() == 1 {
+            // Small buffer forces multiple remote fetches.
+            let all: Vec<u64> = arr.onesided_iter().chunks(4).into_iter().collect();
+            assert_eq!(all, (0..25).collect::<Vec<u64>>());
+            // Standard iterator adaptors compose after into_iter().
+            let evens: Vec<u64> =
+                arr.onesided_iter().into_iter().filter(|v| v % 2 == 0).collect();
+            assert_eq!(evens.len(), 13);
+        }
+        world.barrier();
+    });
+}
+
+#[test]
+fn onesided_iter_cyclic_layout() {
+    launch(2, |world| {
+        let arr = AtomicArray::<u64>::new(&world, 9, Distribution::Cyclic);
+        world.barrier();
+        if world.my_pe() == 0 {
+            world.block_on(arr.batch_store((0..9).collect(), (10..19).collect::<Vec<u64>>()));
+            let all: Vec<u64> = arr.onesided_iter().chunks(2).into_iter().collect();
+            assert_eq!(all, (10..19).collect::<Vec<u64>>());
+        }
+        world.wait_all();
+        world.barrier();
+    });
+}
+
+#[test]
+fn reduce_on_sub_array_and_readonly() {
+    launch(2, |world| {
+        let arr = filled_atomic(&world, 10); // values 0..10
+        let sub_sum = world.block_on(arr.sub_array(2..5).sum());
+        assert_eq!(sub_sum, 2 + 3 + 4);
+        world.barrier();
+        let ro = arr.into_read_only();
+        assert_eq!(world.block_on(ro.sum()), 45);
+        assert_eq!(world.block_on(ro.max()), Some(9));
+        world.barrier();
+    });
+}

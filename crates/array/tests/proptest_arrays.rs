@@ -1,0 +1,127 @@
+//! Property tests: batch operations agree with a sequential oracle, and
+//! layouts/batches behave identically across distributions and array types.
+
+use lamellar_array::prelude::*;
+use lamellar_core::world::launch;
+use proptest::prelude::*;
+
+/// Apply a random op sequence through batch ops and through a plain Vec;
+/// the final array contents must match.
+fn run_oracle(dist: Distribution, len: usize, ops: Vec<(usize, u64)>, use_local_lock: bool) {
+    let ops2 = ops.clone();
+    let outcome = launch(2, move |world| {
+        let idxs: Vec<usize> = ops2.iter().map(|&(i, _)| i % len).collect();
+        let vals: Vec<u64> = ops2.iter().map(|&(_, v)| v % 1000).collect();
+        let result = if use_local_lock {
+            let arr = LocalLockArray::<u64>::new(&world, len, dist);
+            world.barrier();
+            if world.my_pe() == 0 {
+                world.block_on(arr.batch_add(idxs.clone(), vals.clone()));
+            }
+            world.wait_all();
+            world.barrier();
+            let out = world.block_on(arr.get(0, len));
+            world.barrier();
+            out
+        } else {
+            let arr = AtomicArray::<u64>::new(&world, len, dist);
+            world.barrier();
+            if world.my_pe() == 0 {
+                world.block_on(arr.batch_add(idxs.clone(), vals.clone()));
+            }
+            world.wait_all();
+            world.barrier();
+            let out = world.block_on(arr.get(0, len));
+            world.barrier();
+            out
+        };
+        result
+    });
+    // Sequential oracle.
+    let mut oracle = vec![0u64; len];
+    for &(i, v) in &ops {
+        oracle[i % len] += v % 1000;
+    }
+    assert_eq!(outcome[0], oracle);
+    assert_eq!(outcome[1], oracle);
+}
+
+proptest! {
+    // World setup is expensive (threads per case); keep case counts low
+    // but inputs rich.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn batch_add_matches_oracle_block(
+        len in 1usize..40,
+        ops in prop::collection::vec((0usize..1000, 0u64..10_000), 1..100),
+    ) {
+        run_oracle(Distribution::Block, len, ops, false);
+    }
+
+    #[test]
+    fn batch_add_matches_oracle_cyclic(
+        len in 1usize..40,
+        ops in prop::collection::vec((0usize..1000, 0u64..10_000), 1..100),
+    ) {
+        run_oracle(Distribution::Cyclic, len, ops, false);
+    }
+
+    #[test]
+    fn batch_add_matches_oracle_local_lock(
+        len in 1usize..40,
+        ops in prop::collection::vec((0usize..1000, 0u64..10_000), 1..60),
+    ) {
+        run_oracle(Distribution::Block, len, ops, true);
+    }
+
+    #[test]
+    fn batch_fetch_results_match_loads(
+        len in 1usize..30,
+        idxs in prop::collection::vec(0usize..1000, 1..50),
+    ) {
+        let outcome = launch(2, move |world| {
+            let arr = AtomicArray::<u64>::new(&world, len, Distribution::Block);
+            world.barrier();
+            let mut ok = true;
+            if world.my_pe() == 0 {
+                let idxs: Vec<usize> = idxs.iter().map(|&i| i % len).collect();
+                // fetch_add returns the running per-slot prefix counts.
+                let prev = world.block_on(arr.batch_fetch_add(idxs.clone(), 1u64));
+                let mut counts = vec![0u64; len];
+                for (k, &i) in idxs.iter().enumerate() {
+                    ok &= prev[k] == counts[i];
+                    counts[i] += 1;
+                }
+                let finals = world.block_on(arr.batch_load((0..len).collect()));
+                ok &= finals == counts;
+            }
+            world.wait_all();
+            world.barrier();
+            ok
+        });
+        prop_assert!(outcome.into_iter().all(|b| b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Small-batch sub-batching: any batch limit produces the same result.
+    #[test]
+    fn batch_limit_is_semantically_invisible(limit in 1usize..20) {
+        let outcome = launch(2, move |world| {
+            let mut arr = AtomicArray::<u64>::new(&world, 10, Distribution::Block);
+            arr.set_batch_limit(limit);
+            world.barrier();
+            let idxs: Vec<usize> = (0..50).map(|i| i % 10).collect();
+            world.block_on(arr.batch_add(idxs, 1u64));
+            world.wait_all();
+            world.barrier();
+            let sum = world.block_on(arr.sum());
+            world.barrier();
+            sum
+        });
+        prop_assert_eq!(outcome, vec![100, 100]);
+    }
+}

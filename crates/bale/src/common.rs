@@ -1,0 +1,171 @@
+//! Shared kernel plumbing: configurations, deterministic per-PE RNG, and
+//! result records.
+
+use std::time::Duration;
+
+/// Problem size for Histogram and IndexGather (paper defaults: 1,000 table
+/// elements per core, 10,000,000 updates per core, 10,000-op aggregation
+/// buffers — scale down with `scaled`).
+#[derive(Debug, Clone, Copy)]
+pub struct TableConfig {
+    /// Distributed-table elements per PE.
+    pub table_per_pe: usize,
+    /// Updates/requests issued per PE.
+    pub updates_per_pe: usize,
+    /// Aggregation buffer limit (ops per buffer).
+    pub batch: usize,
+    /// RNG seed (combined with the PE id).
+    pub seed: u64,
+}
+
+impl TableConfig {
+    /// The paper's parameters divided by `scale` (scale = 1 reproduces the
+    /// evaluation's per-core numbers).
+    pub fn paper_scaled(scale: usize) -> Self {
+        let scale = scale.max(1);
+        TableConfig {
+            table_per_pe: 1_000,
+            updates_per_pe: (10_000_000 / scale).max(1),
+            batch: 10_000,
+            seed: 0xBA1E,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn test_small() -> Self {
+        TableConfig { table_per_pe: 50, updates_per_pe: 2_000, batch: 128, seed: 7 }
+    }
+}
+
+/// Problem size for Randperm (paper: 1,000,000 elements per core to
+/// permute; target array twice that).
+#[derive(Debug, Clone, Copy)]
+pub struct PermConfig {
+    /// Permutation elements per PE.
+    pub perm_per_pe: usize,
+    /// Target slots per PE (paper: 2× perm_per_pe).
+    pub target_per_pe: usize,
+    /// Aggregation buffer limit.
+    pub batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PermConfig {
+    /// The paper's parameters divided by `scale`.
+    pub fn paper_scaled(scale: usize) -> Self {
+        let scale = scale.max(1);
+        let perm = (1_000_000 / scale).max(1);
+        PermConfig { perm_per_pe: perm, target_per_pe: 2 * perm, batch: 10_000, seed: 0xDA27 }
+    }
+
+    /// A small configuration for tests.
+    pub fn test_small() -> Self {
+        PermConfig { perm_per_pe: 200, target_per_pe: 400, batch: 64, seed: 11 }
+    }
+}
+
+/// One kernel run's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelResult {
+    /// Wall time of the timed section (excludes setup/verification).
+    pub elapsed: Duration,
+    /// Operations performed by the *whole world* in the timed section.
+    pub global_ops: usize,
+}
+
+impl KernelResult {
+    /// Millions of updates per second, the paper's Fig. 3/4 metric.
+    pub fn mups(&self) -> f64 {
+        self.global_ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// SplitMix64 — a tiny, high-quality deterministic RNG so every variant
+/// sees an identical update stream for a given (seed, pe).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded per PE.
+    pub fn new(seed: u64, pe: usize) -> Self {
+        SplitMix64 { state: seed ^ ((pe as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// The random global indices a PE uses for Histogram/IndexGather.
+pub fn random_indices(cfg: &TableConfig, pe: usize, global_len: usize) -> Vec<usize> {
+    let mut rng = SplitMix64::new(cfg.seed, pe);
+    (0..cfg.updates_per_pe).map(|_| rng.below(global_len)).collect()
+}
+
+/// Check that `values` (gathered across PEs, any order) form exactly the
+/// set `0..n`.
+pub fn is_permutation(mut values: Vec<u64>, n: usize) -> bool {
+    if values.len() != n {
+        return false;
+    }
+    values.sort_unstable();
+    values.into_iter().eq(0..n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_pe_dependent() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(1, 0);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(1, 0);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(1, 1);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(3, 2);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn permutation_checker() {
+        assert!(is_permutation(vec![2, 0, 1], 3));
+        assert!(!is_permutation(vec![0, 1, 1], 3));
+        assert!(!is_permutation(vec![0, 1], 3));
+        assert!(!is_permutation(vec![0, 1, 3], 3));
+    }
+
+    #[test]
+    fn mups_metric() {
+        let r = KernelResult { elapsed: Duration::from_secs(2), global_ops: 4_000_000 };
+        assert!((r.mups() - 2.0).abs() < 1e-9);
+    }
+}

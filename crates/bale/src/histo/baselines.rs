@@ -1,0 +1,226 @@
+//! Histogram baselines over the simulated OpenSHMEM substrate: Exstack,
+//! Exstack2, Conveyors, Selectors, and the Chapel-style DstAggregator
+//! (the five comparison series of Fig. 3).
+
+use crate::common::{random_indices, KernelResult, TableConfig};
+use oshmem_sim::chapel_agg::DstAggregator;
+use oshmem_sim::convey::Convey;
+use oshmem_sim::exstack::Exstack;
+use oshmem_sim::exstack2::Exstack2;
+use oshmem_sim::selector::Selector;
+use oshmem_sim::ShmemCtx;
+use std::time::Instant;
+
+fn verify(ctx: &ShmemCtx, table: oshmem_sim::SymSlice<u64>, cfg: &TableConfig) {
+    ctx.barrier_all();
+    // SAFETY: all updates complete before the barrier.
+    let local: u64 = unsafe { ctx.local_slice(table) }.iter().sum();
+    // Gather local sums through a tiny symmetric array.
+    let sums = ctx.shmem_malloc::<u64>(ctx.n_pes());
+    for pe in 0..ctx.n_pes() {
+        ctx.p(sums, pe, ctx.my_pe(), local);
+    }
+    ctx.barrier_all();
+    // SAFETY: all puts complete before the barrier.
+    let total: u64 = unsafe { ctx.local_slice(sums) }.iter().sum();
+    assert_eq!(total as usize, cfg.updates_per_pe * ctx.n_pes(), "histogram lost updates");
+    ctx.barrier_all();
+}
+
+/// Bulk-synchronous Exstack histogram (`histo_exstack` in BALE).
+pub fn histo_exstack(ctx: &ShmemCtx, cfg: &TableConfig) -> KernelResult {
+    let npes = ctx.n_pes();
+    let glen = cfg.table_per_pe * npes;
+    let table = ctx.shmem_malloc::<u64>(cfg.table_per_pe);
+    let indices = random_indices(cfg, ctx.my_pe(), glen);
+    let mut ex = Exstack::<u32>::new(ctx, cfg.batch.min(4096));
+    ctx.barrier_all();
+
+    let timer = Instant::now();
+    let mut i = 0;
+    while ex.proceed(ctx, i == indices.len()) {
+        while i < indices.len() {
+            let g = indices[i];
+            let (dst, local) = (g / cfg.table_per_pe, (g % cfg.table_per_pe) as u32);
+            if !ex.push(dst, local) {
+                break;
+            }
+            i += 1;
+        }
+        ex.exchange(ctx);
+        // SAFETY: only this PE touches its shard between exchanges.
+        let shard = unsafe { ctx.local_slice_mut(table) };
+        while let Some((_src, local)) = ex.pop(ctx) {
+            shard[local as usize] += 1;
+        }
+    }
+    ctx.barrier_all();
+    let elapsed = timer.elapsed();
+
+    verify(ctx, table, cfg);
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+/// Asynchronous Exstack2 histogram.
+pub fn histo_exstack2(ctx: &ShmemCtx, cfg: &TableConfig) -> KernelResult {
+    let npes = ctx.n_pes();
+    let glen = cfg.table_per_pe * npes;
+    let table = ctx.shmem_malloc::<u64>(cfg.table_per_pe);
+    let indices = random_indices(cfg, ctx.my_pe(), glen);
+    let mut ex = Exstack2::<u32>::new(ctx, cfg.batch.min(4096));
+    ctx.barrier_all();
+
+    let timer = Instant::now();
+    let mut i = 0;
+    loop {
+        // Push a slice, then service arrivals — interleaving send and
+        // receive is the asynchronous model's point.
+        let burst = (i + 4096).min(indices.len());
+        while i < burst {
+            let g = indices[i];
+            ex.push(ctx, g / cfg.table_per_pe, (g % cfg.table_per_pe) as u32);
+            i += 1;
+        }
+        let more = ex.advance(ctx, i == indices.len());
+        {
+            // SAFETY: each PE updates only its own shard.
+            let shard = unsafe { ctx.local_slice_mut(table) };
+            while let Some((_src, local)) = ex.pop() {
+                shard[local as usize] += 1;
+            }
+        }
+        if !more && i == indices.len() {
+            break;
+        }
+    }
+    ctx.barrier_all();
+    let elapsed = timer.elapsed();
+
+    verify(ctx, table, cfg);
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+/// Multi-hop Conveyors histogram.
+pub fn histo_convey(ctx: &ShmemCtx, cfg: &TableConfig) -> KernelResult {
+    let npes = ctx.n_pes();
+    let glen = cfg.table_per_pe * npes;
+    let table = ctx.shmem_malloc::<u64>(cfg.table_per_pe);
+    let indices = random_indices(cfg, ctx.my_pe(), glen);
+    let mut conv = Convey::<u32>::new(ctx, cfg.batch.min(4096));
+    ctx.barrier_all();
+
+    let timer = Instant::now();
+    let mut i = 0;
+    loop {
+        let burst = (i + 4096).min(indices.len());
+        while i < burst {
+            let g = indices[i];
+            conv.push(ctx, g / cfg.table_per_pe, (g % cfg.table_per_pe) as u32);
+            i += 1;
+        }
+        let more = conv.advance(ctx, i == indices.len());
+        {
+            // SAFETY: each PE updates only its own shard.
+            let shard = unsafe { ctx.local_slice_mut(table) };
+            while let Some(local) = conv.pull() {
+                shard[local as usize] += 1;
+            }
+        }
+        if !more && i == indices.len() {
+            break;
+        }
+    }
+    ctx.barrier_all();
+    let elapsed = timer.elapsed();
+
+    verify(ctx, table, cfg);
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+/// Actor-model Selectors histogram.
+pub fn histo_selector(ctx: &ShmemCtx, cfg: &TableConfig) -> KernelResult {
+    let npes = ctx.n_pes();
+    let glen = cfg.table_per_pe * npes;
+    let table = ctx.shmem_malloc::<u64>(cfg.table_per_pe);
+    let indices = random_indices(cfg, ctx.my_pe(), glen);
+    let mut sel = Selector::<u32, 1>::new(ctx, cfg.batch.min(4096));
+    ctx.barrier_all();
+
+    let timer = Instant::now();
+    for &g in &indices {
+        sel.send(ctx, 0, g / cfg.table_per_pe, (g % cfg.table_per_pe) as u32);
+    }
+    sel.done();
+    // SAFETY: the handler is the only accessor of this PE's shard during
+    // execute (all other PEs update via messages to their own shards).
+    let shard = unsafe { ctx.local_slice_mut(table) };
+    sel.execute(ctx, |_mb, _src, local| {
+        shard[local as usize] += 1;
+    });
+    ctx.barrier_all();
+    let elapsed = timer.elapsed();
+
+    verify(ctx, table, cfg);
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+/// Chapel-style automatic aggregation (DstAggregator) histogram.
+pub fn histo_chapel(ctx: &ShmemCtx, cfg: &TableConfig) -> KernelResult {
+    let npes = ctx.n_pes();
+    let glen = cfg.table_per_pe * npes;
+    let table = ctx.shmem_malloc::<u64>(cfg.table_per_pe);
+    let indices = random_indices(cfg, ctx.my_pe(), glen);
+    let mut agg = DstAggregator::new(ctx, table, cfg.batch.min(8192), true);
+    ctx.barrier_all();
+
+    let timer = Instant::now();
+    for &g in &indices {
+        agg.copy(ctx, g / cfg.table_per_pe, g % cfg.table_per_pe, 1);
+    }
+    agg.flush_all(ctx);
+    ctx.barrier_all();
+    let elapsed = timer.elapsed();
+
+    verify(ctx, table, cfg);
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oshmem_sim::shmem_launch;
+
+    fn run(f: fn(&ShmemCtx, &TableConfig) -> KernelResult) {
+        let cfg = TableConfig::test_small();
+        let results = shmem_launch(4, 16, move |ctx| f(&ctx, &cfg));
+        assert_eq!(results.len(), 4);
+        for r in results {
+            assert!(r.elapsed.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn exstack_histogram() {
+        run(histo_exstack);
+    }
+
+    #[test]
+    fn exstack2_histogram() {
+        run(histo_exstack2);
+    }
+
+    #[test]
+    fn convey_histogram() {
+        run(histo_convey);
+    }
+
+    #[test]
+    fn selector_histogram() {
+        run(histo_selector);
+    }
+
+    #[test]
+    fn chapel_histogram() {
+        run(histo_chapel);
+    }
+}

@@ -1,0 +1,142 @@
+//! Histogram (paper Sec. IV-B.1, Fig. 3): "Each PE generates N indices
+//! uniformly at random from the range of a distributed array. It then
+//! increments the table's value at that index. Although the kernel is
+//! simple it represents a common communication pattern (small message
+//! all-to-all) in many parallel applications."
+
+pub mod baselines;
+
+use crate::common::{random_indices, KernelResult, TableConfig};
+use lamellar_core::darc::Darc;
+use lamellar_core::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// The manually-aggregated AM: a `Vec` of destination-local indices, plus a
+/// Darc to the destination's table shard ("uses AMs to manually aggregate
+/// indices (into a Vec) by destination PE ... the AM iterates through the
+/// Vec of indices and atomically updates the corresponding entries").
+#[derive(Clone, Debug)]
+pub struct HistoBufAm {
+    /// Each PE's shard of the distributed table.
+    pub table: Darc<Vec<AtomicUsize>>,
+    /// Destination-local indices to increment.
+    pub idxs: Vec<u32>,
+}
+
+lamellar_core::impl_codec!(HistoBufAm { table, idxs });
+
+impl LamellarAm for HistoBufAm {
+    type Output = ();
+    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = ()> + Send {
+        async move {
+            for &i in &self.idxs {
+                self.table[i as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Sums the executing PE's table shard (verification).
+#[derive(Clone, Debug)]
+pub struct ShardSumAm {
+    /// The shared table.
+    pub table: Darc<Vec<AtomicUsize>>,
+}
+
+lamellar_core::impl_codec!(ShardSumAm { table });
+
+impl LamellarAm for ShardSumAm {
+    type Output = usize;
+    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = usize> + Send {
+        async move { self.table.iter().map(|a| a.load(Ordering::Relaxed)).sum() }
+    }
+}
+
+/// Lamellar **AM** Histogram: manual aggregation by destination PE — the
+/// paper's best-at-scale variant.
+pub fn histo_lamellar_am(world: &LamellarWorld, cfg: &TableConfig) -> KernelResult {
+    let npes = world.num_pes();
+    let me = world.my_pe();
+    let glen = cfg.table_per_pe * npes;
+    let table: Darc<Vec<AtomicUsize>> =
+        Darc::new(&world.team(), (0..cfg.table_per_pe).map(|_| AtomicUsize::new(0)).collect());
+    let indices = random_indices(cfg, me, glen);
+    world.barrier();
+
+    let timer = Instant::now();
+    // Bin indices by destination PE (block distribution of the table).
+    let mut bins: Vec<Vec<u32>> = vec![Vec::with_capacity(cfg.batch); npes];
+    for &g in &indices {
+        let dst = g / cfg.table_per_pe;
+        let local = (g % cfg.table_per_pe) as u32;
+        bins[dst].push(local);
+        if bins[dst].len() >= cfg.batch {
+            let idxs = std::mem::replace(&mut bins[dst], Vec::with_capacity(cfg.batch));
+            drop(world.exec_am_pe(dst, HistoBufAm { table: table.clone(), idxs }));
+        }
+    }
+    for (dst, idxs) in bins.into_iter().enumerate() {
+        if !idxs.is_empty() {
+            drop(world.exec_am_pe(dst, HistoBufAm { table: table.clone(), idxs }));
+        }
+    }
+    world.wait_all();
+    world.barrier();
+    let elapsed = timer.elapsed();
+
+    // Verify: total increments across shards == total updates.
+    if me == 0 {
+        let sums = world.block_on(world.exec_am_all(ShardSumAm { table: table.clone() }));
+        let total: usize = sums.into_iter().sum();
+        assert_eq!(total, cfg.updates_per_pe * npes, "histogram lost updates");
+    }
+    world.barrier();
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+/// Lamellar **AtomicArray** Histogram: Listing 2 — all aggregation,
+/// sub-batching, and dispatch left to the runtime.
+pub fn histo_lamellar_atomic_array(world: &LamellarWorld, cfg: &TableConfig) -> KernelResult {
+    let npes = world.num_pes();
+    let glen = cfg.table_per_pe * npes;
+    let mut table = lamellar_array::AtomicArray::<usize>::new(world, glen, lamellar_array::Distribution::Block);
+    table.set_batch_limit(cfg.batch);
+    let rnd_i = random_indices(cfg, world.my_pe(), glen);
+    world.barrier();
+
+    let timer = Instant::now();
+    world.block_on(table.batch_add(rnd_i, 1)); // the histogram kernel
+    world.wait_all();
+    world.barrier();
+    let elapsed = timer.elapsed();
+
+    let sum = world.block_on(table.sum());
+    assert_eq!(sum, cfg.updates_per_pe * npes, "histogram lost updates");
+    world.barrier();
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::TableConfig;
+    use lamellar_core::world::launch;
+
+    #[test]
+    fn lamellar_am_histogram_conserves_updates() {
+        let cfg = TableConfig::test_small();
+        let results = launch(4, move |world| histo_lamellar_am(&world, &cfg));
+        for r in results {
+            assert_eq!(r.global_ops, cfg.updates_per_pe * 4);
+            assert!(r.mups() > 0.0);
+        }
+    }
+
+    #[test]
+    fn lamellar_atomic_array_histogram_conserves_updates() {
+        let cfg = TableConfig::test_small();
+        let results = launch(2, move |world| histo_lamellar_atomic_array(&world, &cfg));
+        assert_eq!(results.len(), 2);
+    }
+}

@@ -1,0 +1,323 @@
+//! IndexGather baselines: request/response over Exstack, Exstack2,
+//! Conveyors, Selectors, and the Chapel-style SrcAggregator (Fig. 4).
+
+use crate::common::{random_indices, KernelResult, TableConfig};
+use crate::index_gather::table_value;
+use oshmem_sim::chapel_agg::SrcAggregator;
+use oshmem_sim::convey::Convey;
+use oshmem_sim::exstack::Exstack;
+use oshmem_sim::exstack2::Exstack2;
+use oshmem_sim::selector::Selector;
+use oshmem_sim::{ShmemCtx, SymSlice};
+use std::time::Instant;
+
+/// A gather request on the wire: requester, requester-side slot,
+/// owner-local index.
+#[derive(Clone, Copy, Default)]
+struct Req {
+    src: u32,
+    slot: u32,
+    idx: u32,
+}
+
+/// A gather response: requester-side slot and the value.
+#[derive(Clone, Copy, Default)]
+struct Resp {
+    slot: u32,
+    val: u64,
+}
+
+fn make_table(ctx: &ShmemCtx, cfg: &TableConfig) -> SymSlice<u64> {
+    let table = ctx.shmem_malloc::<u64>(cfg.table_per_pe);
+    // SAFETY: each PE fills only its own shard, before the barrier.
+    let local = unsafe { ctx.local_slice_mut(table) };
+    for (l, v) in local.iter_mut().enumerate() {
+        *v = table_value(ctx.my_pe() * cfg.table_per_pe + l);
+    }
+    ctx.barrier_all();
+    table
+}
+
+fn check(target: &[u64], indices: &[usize]) {
+    for (slot, &g) in indices.iter().enumerate() {
+        assert_eq!(target[slot], table_value(g), "index gather returned a wrong value");
+    }
+}
+
+/// Bulk-synchronous Exstack IndexGather (two exstacks: requests, replies).
+pub fn ig_exstack(ctx: &ShmemCtx, cfg: &TableConfig) -> KernelResult {
+    let npes = ctx.n_pes();
+    let glen = cfg.table_per_pe * npes;
+    let table = make_table(ctx, cfg);
+    let indices = random_indices(cfg, ctx.my_pe(), glen);
+    let mut target = vec![0u64; indices.len()];
+    let cap = cfg.batch.min(2048);
+    let mut req_ex = Exstack::<Req>::new(ctx, cap);
+    let mut rep_ex = Exstack::<Resp>::new(ctx, cap);
+    ctx.barrier_all();
+
+    let timer = Instant::now();
+    let me = ctx.my_pe() as u32;
+    let mut i = 0;
+    while req_ex.proceed(ctx, i == indices.len()) {
+        while i < indices.len() {
+            let g = indices[i];
+            let dst = g / cfg.table_per_pe;
+            let req = Req { src: me, slot: i as u32, idx: (g % cfg.table_per_pe) as u32 };
+            if !req_ex.push(dst, req) {
+                break;
+            }
+            i += 1;
+        }
+        req_ex.exchange(ctx);
+        {
+            // SAFETY: shard contents are immutable after setup.
+            let shard = unsafe { ctx.local_slice(table) };
+            while let Some((_from, req)) = req_ex.pop(ctx) {
+                let resp = Resp { slot: req.slot, val: shard[req.idx as usize] };
+                // Reply buffers mirror request buffers, so this cannot
+                // overflow (≤ cap requests arrive per source per round).
+                assert!(rep_ex.push(req.src as usize, resp), "reply buffer overflow");
+            }
+        }
+        rep_ex.exchange(ctx);
+        while let Some((_from, resp)) = rep_ex.pop(ctx) {
+            target[resp.slot as usize] = resp.val;
+        }
+    }
+    ctx.barrier_all();
+    let elapsed = timer.elapsed();
+
+    check(&target, &indices);
+    ctx.barrier_all();
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+/// Generic asynchronous request/response IndexGather driver shared by
+/// Exstack2 and Conveyors (both expose push/advance/pop-style APIs).
+macro_rules! async_ig {
+    ($ctx:expr, $cfg:expr, $reqs:expr, $reps:expr, $push_req:expr, $push_rep:expr, $adv_req:expr, $adv_rep:expr, $pop_req:expr, $pop_rep:expr, $dbg_req:expr, $dbg_rep:expr) => {{
+        let ctx = $ctx;
+        let cfg = $cfg;
+        let npes = ctx.n_pes();
+        let glen = cfg.table_per_pe * npes;
+        let table = make_table(ctx, cfg);
+        let indices = random_indices(cfg, ctx.my_pe(), glen);
+        let mut target = vec![0u64; indices.len()];
+        let mut pending = indices.len();
+        ctx.barrier_all();
+
+        let timer = Instant::now();
+        let me = ctx.my_pe() as u32;
+        let mut i = 0;
+        let stall_limit = std::time::Duration::from_secs(
+            std::env::var("LAMELLAR_STALL_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(180),
+        );
+        let mut last_state = (true, true);
+        loop {
+            assert!(
+                timer.elapsed() < stall_limit,
+                "index-gather stalled on pe{me}: pending={pending} i={i} last(req_more,rep_more)={last_state:?}\n  reqs: {}\n  reps: {}",
+                $dbg_req(ctx, $reqs),
+                $dbg_rep(ctx, $reps),
+            );
+            let burst = (i + 2048).min(indices.len());
+            while i < burst {
+                let g = indices[i];
+                let dst = g / cfg.table_per_pe;
+                let req = Req { src: me, slot: i as u32, idx: (g % cfg.table_per_pe) as u32 };
+                $push_req(ctx, $reqs, dst, req);
+                i += 1;
+            }
+            let req_more = $adv_req(ctx, $reqs, i == indices.len());
+            {
+                // SAFETY: shard contents are immutable after setup.
+                let shard = unsafe { ctx.local_slice(table) };
+                while let Some(req) = $pop_req($reqs) {
+                    let resp = Resp { slot: req.slot, val: shard[req.idx as usize] };
+                    $push_rep(ctx, $reps, req.src as usize, resp);
+                }
+            }
+            // Replies can stop only after no request can ever arrive again.
+            let rep_more = $adv_rep(ctx, $reps, !req_more && i == indices.len());
+            while let Some(resp) = $pop_rep($reps) {
+                target[resp.slot as usize] = resp.val;
+                pending -= 1;
+            }
+            last_state = (req_more, rep_more);
+            if !req_more && !rep_more && pending == 0 {
+                break;
+            }
+        }
+        ctx.barrier_all();
+        let elapsed = timer.elapsed();
+
+        check(&target, &indices);
+        ctx.barrier_all();
+        KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+    }};
+}
+
+/// Asynchronous Exstack2 IndexGather.
+pub fn ig_exstack2(ctx: &ShmemCtx, cfg: &TableConfig) -> KernelResult {
+    let cap = cfg.batch.min(2048);
+    let mut reqs = Exstack2::<Req>::new(ctx, cap);
+    let mut reps = Exstack2::<Resp>::new(ctx, cap);
+    async_ig!(
+        ctx,
+        cfg,
+        &mut reqs,
+        &mut reps,
+        |c: &ShmemCtx, e: &mut Exstack2<Req>, d, r| e.push(c, d, r),
+        |c: &ShmemCtx, e: &mut Exstack2<Resp>, d, r| e.push(c, d, r),
+        |c: &ShmemCtx, e: &mut Exstack2<Req>, done| e.advance(c, done),
+        |c: &ShmemCtx, e: &mut Exstack2<Resp>, done| e.advance(c, done),
+        |e: &mut Exstack2<Req>| e.pop().map(|(_s, r)| r),
+        |e: &mut Exstack2<Resp>| e.pop().map(|(_s, r)| r),
+        |c: &ShmemCtx, e: &mut Exstack2<Req>| e.debug_state(c),
+        |c: &ShmemCtx, e: &mut Exstack2<Resp>| e.debug_state(c)
+    )
+}
+
+/// Multi-hop Conveyors IndexGather.
+pub fn ig_convey(ctx: &ShmemCtx, cfg: &TableConfig) -> KernelResult {
+    let cap = cfg.batch.min(2048);
+    let mut reqs = Convey::<Req>::new(ctx, cap);
+    let mut reps = Convey::<Resp>::new(ctx, cap);
+    async_ig!(
+        ctx,
+        cfg,
+        &mut reqs,
+        &mut reps,
+        |c: &ShmemCtx, e: &mut Convey<Req>, d, r| e.push(c, d, r),
+        |c: &ShmemCtx, e: &mut Convey<Resp>, d, r| e.push(c, d, r),
+        |c: &ShmemCtx, e: &mut Convey<Req>, done| e.advance(c, done),
+        |c: &ShmemCtx, e: &mut Convey<Resp>, done| e.advance(c, done),
+        |e: &mut Convey<Req>| e.pull(),
+        |e: &mut Convey<Resp>| e.pull(),
+        |c: &ShmemCtx, e: &mut Convey<Req>| e.debug_state(c),
+        |c: &ShmemCtx, e: &mut Convey<Resp>| e.debug_state(c)
+    )
+}
+
+/// Actor-model Selectors IndexGather: one selector per direction —
+/// requests quiesce first (so reply senders know when to declare done),
+/// then replies.
+pub fn ig_selector(ctx: &ShmemCtx, cfg: &TableConfig) -> KernelResult {
+    let npes = ctx.n_pes();
+    let glen = cfg.table_per_pe * npes;
+    let table = make_table(ctx, cfg);
+    let indices = random_indices(cfg, ctx.my_pe(), glen);
+    let mut target = vec![0u64; indices.len()];
+    let mut pending = indices.len();
+    let cap = cfg.batch.min(2048);
+    let mut req_sel = Selector::<Req, 1>::new(ctx, cap);
+    let mut rep_sel = Selector::<Resp, 1>::new(ctx, cap);
+    ctx.barrier_all();
+
+    let timer = Instant::now();
+    let me = ctx.my_pe() as u32;
+    for (slot, &g) in indices.iter().enumerate() {
+        let dst = g / cfg.table_per_pe;
+        req_sel.send(
+            ctx,
+            0,
+            dst,
+            Req { src: me, slot: slot as u32, idx: (g % cfg.table_per_pe) as u32 },
+        );
+    }
+    req_sel.done();
+    // SAFETY: shard contents are immutable after setup.
+    let shard = unsafe { ctx.local_slice(table) };
+    let mut outgoing_replies: Vec<(usize, Resp)> = Vec::new();
+    let mut reps_done = false;
+    loop {
+        let req_more = req_sel.step(ctx, |_mb, _src, req: Req| {
+            outgoing_replies
+                .push((req.src as usize, Resp { slot: req.slot, val: shard[req.idx as usize] }));
+        });
+        for (dst, rep) in outgoing_replies.drain(..) {
+            rep_sel.send(ctx, 0, dst, rep);
+        }
+        if !req_more && !reps_done {
+            // No request can ever arrive again: our last reply is sent.
+            reps_done = true;
+            rep_sel.done();
+        }
+        let rep_more = rep_sel.step(ctx, |_mb, _src, resp: Resp| {
+            target[resp.slot as usize] = resp.val;
+            pending -= 1;
+        });
+        if reps_done && !req_more && !rep_more && pending == 0 {
+            break;
+        }
+    }
+    ctx.barrier_all();
+    let elapsed = timer.elapsed();
+
+    check(&target, &indices);
+    ctx.barrier_all();
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+/// Chapel-style SrcAggregator IndexGather — the paper's fastest series:
+/// "allocates additional buffers for each PE to communicate with one
+/// another using RDMA".
+pub fn ig_chapel(ctx: &ShmemCtx, cfg: &TableConfig) -> KernelResult {
+    let npes = ctx.n_pes();
+    let glen = cfg.table_per_pe * npes;
+    let table = make_table(ctx, cfg);
+    let indices = random_indices(cfg, ctx.my_pe(), glen);
+    let mut target = vec![0u64; indices.len()];
+    let mut agg = SrcAggregator::new(ctx, table, cfg.batch.min(8192));
+    ctx.barrier_all();
+
+    let timer = Instant::now();
+    for (slot, &g) in indices.iter().enumerate() {
+        agg.copy(ctx, &mut target, g / cfg.table_per_pe, slot, g % cfg.table_per_pe);
+    }
+    agg.flush_all(ctx, &mut target);
+    ctx.barrier_all();
+    let elapsed = timer.elapsed();
+
+    check(&target, &indices);
+    ctx.barrier_all();
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oshmem_sim::shmem_launch;
+
+    fn run(f: fn(&ShmemCtx, &TableConfig) -> KernelResult, pes: usize) {
+        let cfg = TableConfig::test_small();
+        let results = shmem_launch(pes, 16, move |ctx| f(&ctx, &cfg));
+        assert_eq!(results.len(), pes);
+    }
+
+    #[test]
+    fn exstack_ig() {
+        run(ig_exstack, 3);
+    }
+
+    #[test]
+    fn exstack2_ig() {
+        run(ig_exstack2, 3);
+    }
+
+    #[test]
+    fn convey_ig() {
+        run(ig_convey, 4);
+    }
+
+    #[test]
+    fn chapel_ig() {
+        run(ig_chapel, 3);
+    }
+
+    #[test]
+    fn selector_ig() {
+        run(ig_selector, 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! IndexGather (paper Sec. IV-B.2, Fig. 4): read random elements from a
+//! distributed table — "more difficult to execute efficiently since the
+//! runtime needs to both (1) manage the initial remote read requests and
+//! (2) return the results of those reads."
+//!
+//! ```text
+//! for (i, rand_i) in random_indices.enumerate() {
+//!     target[i] = table[rand_i];
+//! }
+//! ```
+
+pub mod baselines;
+
+use crate::common::{random_indices, KernelResult, TableConfig};
+use lamellar_array::prelude::*;
+use lamellar_core::darc::Darc;
+use lamellar_core::prelude::*;
+use std::time::Instant;
+
+/// Table values are a known function of the global index so every variant
+/// can verify its gathered data exactly.
+pub fn table_value(global_index: usize) -> u64 {
+    (global_index as u64).wrapping_mul(2654435761).rotate_left(11) ^ 0xBA1E
+}
+
+/// The manually-aggregated gather AM: destination-local indices in, values
+/// out (the second message of the request/response pair).
+#[derive(Clone, Debug)]
+pub struct IgBufAm {
+    /// Each PE's shard of the read-only table.
+    pub table: Darc<Vec<u64>>,
+    /// Destination-local indices to read.
+    pub idxs: Vec<u32>,
+}
+
+lamellar_core::impl_codec!(IgBufAm { table, idxs });
+
+impl LamellarAm for IgBufAm {
+    type Output = Vec<u64>;
+    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = Vec<u64>> + Send {
+        async move { self.idxs.iter().map(|&i| self.table[i as usize]).collect() }
+    }
+}
+
+/// Lamellar **AM** IndexGather: manual aggregation, explicit reply routing.
+pub fn ig_lamellar_am(world: &LamellarWorld, cfg: &TableConfig) -> KernelResult {
+    let npes = world.num_pes();
+    let me = world.my_pe();
+    let glen = cfg.table_per_pe * npes;
+    // Block-distributed table shard with verifiable contents.
+    let shard: Vec<u64> =
+        (0..cfg.table_per_pe).map(|l| table_value(me * cfg.table_per_pe + l)).collect();
+    let table = Darc::new(&world.team(), shard);
+    let indices = random_indices(cfg, me, glen);
+    let mut target = vec![0u64; indices.len()];
+    world.barrier();
+
+    let timer = Instant::now();
+    // Bin requests by destination, remembering each request's target slot.
+    let mut bins: Vec<Vec<u32>> = vec![Vec::with_capacity(cfg.batch); npes];
+    let mut slots: Vec<Vec<u32>> = vec![Vec::with_capacity(cfg.batch); npes];
+    let mut handles: Vec<(Vec<u32>, lamellar_core::am::AmHandle<Vec<u64>>)> = Vec::new();
+    let flush = |dst: usize, bins: &mut Vec<Vec<u32>>, slots: &mut Vec<Vec<u32>>| {
+        if bins[dst].is_empty() {
+            return None;
+        }
+        let idxs = std::mem::replace(&mut bins[dst], Vec::with_capacity(cfg.batch));
+        let s = std::mem::replace(&mut slots[dst], Vec::with_capacity(cfg.batch));
+        Some((s, world.exec_am_pe(dst, IgBufAm { table: table.clone(), idxs })))
+    };
+    for (slot, &g) in indices.iter().enumerate() {
+        let dst = g / cfg.table_per_pe;
+        bins[dst].push((g % cfg.table_per_pe) as u32);
+        slots[dst].push(slot as u32);
+        if bins[dst].len() >= cfg.batch {
+            handles.extend(flush(dst, &mut bins, &mut slots));
+        }
+    }
+    for dst in 0..npes {
+        handles.extend(flush(dst, &mut bins, &mut slots));
+    }
+    // Scatter replies back into the target in request order.
+    for (s, h) in handles {
+        let vals = world.block_on(h);
+        for (slot, v) in s.into_iter().zip(vals) {
+            target[slot as usize] = v;
+        }
+    }
+    world.wait_all();
+    world.barrier();
+    let elapsed = timer.elapsed();
+
+    for (slot, &g) in indices.iter().enumerate() {
+        assert_eq!(target[slot], table_value(g), "index gather returned a wrong value");
+    }
+    world.barrier();
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+/// Lamellar **ReadOnlyArray** IndexGather: the paper's
+/// `target = world.block_on(table.batch_load(rnd_idxs))`.
+pub fn ig_lamellar_read_only(world: &LamellarWorld, cfg: &TableConfig) -> KernelResult {
+    let npes = world.num_pes();
+    let glen = cfg.table_per_pe * npes;
+    // Fill through an UnsafeArray, then convert (the paper's construction).
+    let arr = UnsafeArray::<u64>::new(world, glen, Distribution::Block);
+    world.barrier();
+    if world.my_pe() == 0 {
+        let vals: Vec<u64> = (0..glen).map(table_value).collect();
+        // SAFETY: sole writer before the barrier inside the conversion.
+        unsafe { arr.put_unchecked(0, &vals) };
+    }
+    world.barrier();
+    let mut table = arr.into_read_only();
+    table.set_batch_limit(cfg.batch);
+    let rnd_idxs = random_indices(cfg, world.my_pe(), glen);
+    world.barrier();
+
+    let timer = Instant::now();
+    let target = world.block_on(table.batch_load(rnd_idxs.clone()));
+    world.wait_all();
+    world.barrier();
+    let elapsed = timer.elapsed();
+
+    for (slot, &g) in rnd_idxs.iter().enumerate() {
+        assert_eq!(target[slot], table_value(g), "index gather returned a wrong value");
+    }
+    world.barrier();
+    KernelResult { elapsed, global_ops: cfg.updates_per_pe * npes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamellar_core::world::launch;
+
+    #[test]
+    fn lamellar_am_ig_gathers_correct_values() {
+        let cfg = TableConfig::test_small();
+        let results = launch(3, move |world| ig_lamellar_am(&world, &cfg));
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn lamellar_read_only_ig_gathers_correct_values() {
+        let cfg = TableConfig::test_small();
+        let results = launch(2, move |world| ig_lamellar_read_only(&world, &cfg));
+        assert_eq!(results.len(), 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! # bale-suite
+//!
+//! The BALE kernels of the paper's evaluation (Sec. IV-B) — Histogram,
+//! IndexGather, and Randperm — each in every variant the paper measures:
+//!
+//! | kernel | Lamellar variants | baselines |
+//! |---|---|---|
+//! | Histogram (Fig. 3) | manual-aggregation AM, `AtomicArray::batch_add` | Exstack, Exstack2, Conveyors, Selectors, Chapel DstAggregator |
+//! | IndexGather (Fig. 4) | manual-aggregation AM, `ReadOnlyArray::batch_load` | Exstack, Exstack2, Conveyors, Selectors, Chapel SrcAggregator |
+//! | Randperm (Fig. 5) | Array Darts, AM Darts, AM Darts Opt, AM Push | Exstack, Exstack2, Conveyors |
+//!
+//! Every kernel verifies its own result (update conservation for Histogram,
+//! exact gathered values for IndexGather, a true permutation for Randperm).
+//! The `lamellar-bench` harnesses drive these functions across PE counts to
+//! regenerate the paper's figures.
+
+pub mod common;
+pub mod histo;
+pub mod index_gather;
+pub mod randperm;

@@ -1,0 +1,233 @@
+//! Randperm baselines: dart throwing over Exstack (bulk-synchronous
+//! rounds), Exstack2, and Conveyors (asynchronous with hit/miss replies) —
+//! the OpenSHMEM-side series of Fig. 5.
+
+use crate::common::{is_permutation, KernelResult, PermConfig, SplitMix64};
+use oshmem_sim::convey::Convey;
+use oshmem_sim::exstack::Exstack;
+use oshmem_sim::exstack2::Exstack2;
+use oshmem_sim::ShmemCtx;
+use std::time::Instant;
+
+/// A dart throw on the wire: thrower, destination-local slot, dart value.
+#[derive(Clone, Copy, Default)]
+struct Throw {
+    src: u32,
+    slot: u32,
+    dart: u64,
+}
+
+/// A reject: the dart comes back to its thrower.
+#[derive(Clone, Copy, Default)]
+struct Reject {
+    dart: u64,
+}
+
+/// An ack (asynchronous variants): dart resolved, hit or miss.
+#[derive(Clone, Copy, Default)]
+struct Ack {
+    dart: u64,
+    hit: bool,
+}
+
+/// Gather each PE's in-order slice and verify on PE 0 through symmetric
+/// memory (count exchange + bulk puts).
+fn verify_shmem(ctx: &ShmemCtx, local: &[u64], n: usize) {
+    let npes = ctx.n_pes();
+    let counts = ctx.shmem_malloc::<u64>(npes);
+    for pe in 0..npes {
+        ctx.p(counts, pe, ctx.my_pe(), local.len() as u64);
+    }
+    ctx.barrier_all();
+    // SAFETY: counts complete before the barrier.
+    let counts_v: Vec<u64> = unsafe { ctx.local_slice(counts) }.to_vec();
+    let total: u64 = counts_v.iter().sum();
+    assert_eq!(total as usize, n, "dart count mismatch");
+    // Everyone puts its slice into PE 0's gather buffer at its prefix.
+    let gather = ctx.shmem_malloc::<u64>(n.max(1));
+    let start: u64 = counts_v[..ctx.my_pe()].iter().sum();
+    if !local.is_empty() {
+        ctx.put(gather, 0, start as usize, local);
+    }
+    ctx.barrier_all();
+    if ctx.my_pe() == 0 {
+        // SAFETY: all puts complete before the barrier.
+        let all = unsafe { ctx.local_slice(gather) }.to_vec();
+        assert!(is_permutation(all, n), "result is not a permutation");
+    }
+    ctx.barrier_all();
+}
+
+/// Bulk-synchronous Exstack dart throwing.
+pub fn randperm_exstack(ctx: &ShmemCtx, cfg: &PermConfig) -> KernelResult {
+    let npes = ctx.n_pes();
+    let me = ctx.my_pe();
+    let n = cfg.perm_per_pe * npes;
+    let tlen = cfg.target_per_pe * npes;
+    let mut target = vec![0u64; cfg.target_per_pe]; // 0 = empty, dart+1
+    let mut rng = SplitMix64::new(cfg.seed, me);
+    let cap = cfg.batch.min(2048);
+    let mut throw_ex = Exstack::<Throw>::new(ctx, cap);
+    let mut rej_ex = Exstack::<Reject>::new(ctx, cap);
+    let mut darts: Vec<u64> =
+        (0..cfg.perm_per_pe).map(|i| (me * cfg.perm_per_pe + i) as u64 + 1).collect();
+    ctx.barrier_all();
+
+    let timer = Instant::now();
+    while throw_ex.proceed(ctx, darts.is_empty()) {
+        // Throw what fits this round.
+        let mut kept = Vec::new();
+        for dart in darts.drain(..) {
+            let g = rng.below(tlen);
+            let t = Throw { src: me as u32, slot: (g % cfg.target_per_pe) as u32, dart };
+            if !throw_ex.push(g / cfg.target_per_pe, t) {
+                kept.push(dart);
+            }
+        }
+        darts = kept;
+        throw_ex.exchange(ctx);
+        while let Some((_from, t)) = throw_ex.pop(ctx) {
+            let slot = &mut target[t.slot as usize];
+            if *slot == 0 {
+                *slot = t.dart;
+            } else {
+                // Rejects mirror throws (≤ cap per source per round).
+                assert!(rej_ex.push(t.src as usize, Reject { dart: t.dart }));
+            }
+        }
+        rej_ex.exchange(ctx);
+        while let Some((_from, r)) = rej_ex.pop(ctx) {
+            darts.push(r.dart);
+        }
+    }
+    ctx.barrier_all();
+    let elapsed = timer.elapsed();
+
+    let local: Vec<u64> = target.iter().filter(|&&v| v != 0).map(|v| v - 1).collect();
+    verify_shmem(ctx, &local, n);
+    KernelResult { elapsed, global_ops: n }
+}
+
+/// Shared asynchronous dart loop for Exstack2 and Conveyors: every throw is
+/// acknowledged hit or miss, so each PE tracks its outstanding darts.
+macro_rules! async_randperm {
+    ($ctx:expr, $cfg:expr, $throws:expr, $acks:expr, $push_t:expr, $push_a:expr, $adv_t:expr, $adv_a:expr, $pop_t:expr, $pop_a:expr) => {{
+        let ctx = $ctx;
+        let cfg = $cfg;
+        let npes = ctx.n_pes();
+        let me = ctx.my_pe();
+        let n = cfg.perm_per_pe * npes;
+        let tlen = cfg.target_per_pe * npes;
+        let mut target = vec![0u64; cfg.target_per_pe];
+        let mut rng = SplitMix64::new(cfg.seed, me);
+        let mut darts: Vec<u64> =
+            (0..cfg.perm_per_pe).map(|i| (me * cfg.perm_per_pe + i) as u64 + 1).collect();
+        let mut outstanding = 0usize;
+        ctx.barrier_all();
+
+        let timer = Instant::now();
+        let stall_limit = std::time::Duration::from_secs(
+            std::env::var("LAMELLAR_STALL_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(180),
+        );
+        loop {
+            assert!(
+                timer.elapsed() < stall_limit,
+                "randperm stalled on pe{me}: outstanding={outstanding}"
+            );
+            for dart in darts.drain(..) {
+                let g = rng.below(tlen);
+                let t = Throw { src: me as u32, slot: (g % cfg.target_per_pe) as u32, dart };
+                $push_t(ctx, $throws, g / cfg.target_per_pe, t);
+                outstanding += 1;
+            }
+            let throws_done = outstanding == 0 && darts.is_empty();
+            let t_more = $adv_t(ctx, $throws, throws_done);
+            while let Some(t) = $pop_t($throws) {
+                let slot = &mut target[t.slot as usize];
+                let hit = *slot == 0;
+                if hit {
+                    *slot = t.dart;
+                }
+                $push_a(ctx, $acks, t.src as usize, Ack { dart: t.dart, hit });
+            }
+            let a_more = $adv_a(ctx, $acks, !t_more && throws_done);
+            while let Some(a) = $pop_a($acks) {
+                outstanding -= 1;
+                if !a.hit {
+                    darts.push(a.dart);
+                }
+            }
+            if !t_more && !a_more && outstanding == 0 && darts.is_empty() {
+                break;
+            }
+        }
+        ctx.barrier_all();
+        let elapsed = timer.elapsed();
+
+        let local: Vec<u64> = target.iter().filter(|&&v| v != 0).map(|v| v - 1).collect();
+        verify_shmem(ctx, &local, n);
+        KernelResult { elapsed, global_ops: n }
+    }};
+}
+
+/// Asynchronous Exstack2 dart throwing.
+pub fn randperm_exstack2(ctx: &ShmemCtx, cfg: &PermConfig) -> KernelResult {
+    let cap = cfg.batch.min(2048);
+    let mut throws = Exstack2::<Throw>::new(ctx, cap);
+    let mut acks = Exstack2::<Ack>::new(ctx, cap);
+    async_randperm!(
+        ctx,
+        cfg,
+        &mut throws,
+        &mut acks,
+        |c: &ShmemCtx, e: &mut Exstack2<Throw>, d, t| e.push(c, d, t),
+        |c: &ShmemCtx, e: &mut Exstack2<Ack>, d, a| e.push(c, d, a),
+        |c: &ShmemCtx, e: &mut Exstack2<Throw>, done| e.advance(c, done),
+        |c: &ShmemCtx, e: &mut Exstack2<Ack>, done| e.advance(c, done),
+        |e: &mut Exstack2<Throw>| e.pop().map(|(_s, t)| t),
+        |e: &mut Exstack2<Ack>| e.pop().map(|(_s, a)| a)
+    )
+}
+
+/// Multi-hop Conveyors dart throwing.
+pub fn randperm_convey(ctx: &ShmemCtx, cfg: &PermConfig) -> KernelResult {
+    let cap = cfg.batch.min(2048);
+    let mut throws = Convey::<Throw>::new(ctx, cap);
+    let mut acks = Convey::<Ack>::new(ctx, cap);
+    async_randperm!(
+        ctx,
+        cfg,
+        &mut throws,
+        &mut acks,
+        |c: &ShmemCtx, e: &mut Convey<Throw>, d, t| e.push(c, d, t),
+        |c: &ShmemCtx, e: &mut Convey<Ack>, d, a| e.push(c, d, a),
+        |c: &ShmemCtx, e: &mut Convey<Throw>, done| e.advance(c, done),
+        |c: &ShmemCtx, e: &mut Convey<Ack>, done| e.advance(c, done),
+        |e: &mut Convey<Throw>| e.pull(),
+        |e: &mut Convey<Ack>| e.pull()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oshmem_sim::shmem_launch;
+
+    #[test]
+    fn exstack_randperm() {
+        let cfg = PermConfig::test_small();
+        shmem_launch(3, 16, move |ctx| randperm_exstack(&ctx, &cfg));
+    }
+
+    #[test]
+    fn exstack2_randperm() {
+        let cfg = PermConfig::test_small();
+        shmem_launch(3, 16, move |ctx| randperm_exstack2(&ctx, &cfg));
+    }
+
+    #[test]
+    fn convey_randperm() {
+        let cfg = PermConfig::test_small();
+        shmem_launch(4, 16, move |ctx| randperm_convey(&ctx, &cfg));
+    }
+}

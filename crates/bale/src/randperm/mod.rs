@@ -1,0 +1,383 @@
+//! Randperm (paper Sec. IV-B.3, Fig. 5): build a random permutation of
+//! `0..N-1` with the "dart throwing algorithm" — each PE throws its darts
+//! (its slice of `0..N`) at random slots of a target array at least as
+//! large as `N`; a dart sticks in an empty slot, occupied slots force a
+//! re-throw; finally the target is scanned in order to collect the stuck
+//! darts.
+//!
+//! Four Lamellar implementations, as in the paper:
+//! * [`randperm_array_darts`] — AtomicArray + `batch_compare_exchange` +
+//!   distributed-iterator collect.
+//! * [`randperm_am_darts`] — manual AM aggregation of throws and rejects.
+//! * [`randperm_am_darts_opt`] — rejected darts re-slot *locally* on the
+//!   target PE ("when a dart encounters an occupied slot, it will randomly
+//!   select a new location on the current PE").
+//! * [`randperm_am_push`] — locally shuffle, then push each dart to a
+//!   random PE's append-only list; "a dart throw never fails, so
+//!   communication is minimized".
+
+pub mod baselines;
+
+use crate::common::{is_permutation, KernelResult, PermConfig, SplitMix64};
+use lamellar_array::iter::DistIterExt;
+use lamellar_array::prelude::*;
+use lamellar_core::darc::Darc;
+use lamellar_core::prelude::*;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Gather each PE's in-order local dart list and check the union is a
+/// permutation of `0..n` (rank 0 checks; everyone synchronizes).
+fn verify_distributed(world: &LamellarWorld, local_in_order: Vec<u64>, n: usize) {
+    let team = world.team();
+    let per_pe = team.deposit_all(local_in_order);
+    if world.my_pe() == 0 {
+        let all: Vec<u64> = per_pe.iter().flatten().copied().collect();
+        assert!(is_permutation(all, n), "result is not a permutation of 0..{n}");
+    }
+    world.barrier();
+}
+
+/// **Array Darts**: throws via `batch_compare_exchange` on an AtomicArray,
+/// collection via the distributed Collect iterator. Slot encoding: 0 =
+/// empty, dart `d` stored as `d + 1`.
+pub fn randperm_array_darts(world: &LamellarWorld, cfg: &PermConfig) -> KernelResult {
+    let npes = world.num_pes();
+    let me = world.my_pe();
+    let n = cfg.perm_per_pe * npes;
+    let tlen = cfg.target_per_pe * npes;
+    let mut target = AtomicArray::<u64>::new(world, tlen, Distribution::Block);
+    target.set_batch_limit(cfg.batch);
+    let mut rng = SplitMix64::new(cfg.seed, me);
+    // My darts: the global ids me*perm_per_pe .. (me+1)*perm_per_pe.
+    let mut darts: Vec<u64> = (0..cfg.perm_per_pe)
+        .map(|i| (me * cfg.perm_per_pe + i) as u64 + 1)
+        .collect();
+    world.barrier();
+
+    let timer = Instant::now();
+    while !darts.is_empty() {
+        let slots: Vec<usize> = darts.iter().map(|_| rng.below(tlen)).collect();
+        let results =
+            world.block_on(target.batch_compare_exchange(slots, 0u64, darts.clone()));
+        // "If the location is already occupied, the dart must be thrown
+        // again until it sticks."
+        darts = darts
+            .into_iter()
+            .zip(results)
+            .filter_map(|(d, r)| r.is_err().then_some(d))
+            .collect();
+    }
+    world.wait_all();
+    world.barrier();
+    // "Once all darts have stuck, the target array iterates to collect
+    // darts in the order they appear, forming a size-N random permutation."
+    let perm = target
+        .dist_iter()
+        .filter(|v| *v != 0)
+        .map(|v| v - 1)
+        .collect_array(Distribution::Block);
+    world.barrier();
+    let elapsed = timer.elapsed();
+
+    assert_eq!(perm.len(), n);
+    if me == 0 {
+        let mut all = vec![0u64; n];
+        // SAFETY: collection complete (barrier above), nobody writes.
+        unsafe { perm.get_unchecked(0, &mut all) };
+        assert!(is_permutation(all, n), "result is not a permutation");
+    }
+    world.barrier();
+    KernelResult { elapsed, global_ops: n }
+}
+
+/// Per-PE target shard used by the AM variants: slots (0 = empty) plus a
+/// fill counter so the optimized variant can detect a full PE.
+#[derive(Debug)]
+pub struct Shard {
+    slots: Vec<AtomicU64>,
+    filled: AtomicUsize,
+}
+
+impl Shard {
+    fn new(len: usize) -> Self {
+        Shard { slots: (0..len).map(|_| AtomicU64::new(0)).collect(), filled: AtomicUsize::new(0) }
+    }
+
+    /// Try to stick `dart` (already +1 encoded) at `slot`; true on success.
+    fn try_stick(&self, slot: usize, dart: u64) -> bool {
+        let ok = self.slots[slot]
+            .compare_exchange(0, dart, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if ok {
+            self.filled.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Darts stuck in this shard, in slot order, decoded.
+    fn in_order(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .filter(|&v| v != 0)
+            .map(|v| v - 1)
+            .collect()
+    }
+}
+
+/// Aggregated dart throw: each dart targets a specific local slot; rejects
+/// come back to the thrower.
+#[derive(Clone, Debug)]
+pub struct ThrowAm {
+    /// The destination PE's target shard.
+    pub shard: Darc<Shard>,
+    /// Destination-local slots, one per dart.
+    pub slots: Vec<u32>,
+    /// +1-encoded darts.
+    pub darts: Vec<u64>,
+}
+
+lamellar_core::impl_codec!(ThrowAm { shard, slots, darts });
+
+impl LamellarAm for ThrowAm {
+    type Output = Vec<u64>;
+    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = Vec<u64>> + Send {
+        async move {
+            let mut rejects = Vec::new();
+            for (&slot, &dart) in self.slots.iter().zip(&self.darts) {
+                if !self.shard.try_stick(slot as usize, dart) {
+                    rejects.push(dart);
+                }
+            }
+            rejects
+        }
+    }
+}
+
+/// Aggregated dart throw with local re-slotting: a rejected dart probes
+/// other slots on the *same* PE; only a completely full PE rejects.
+#[derive(Clone, Debug)]
+pub struct ThrowOptAm {
+    /// The destination PE's target shard.
+    pub shard: Darc<Shard>,
+    /// Initial destination-local slots.
+    pub slots: Vec<u32>,
+    /// +1-encoded darts.
+    pub darts: Vec<u64>,
+    /// Probe seed.
+    pub seed: u64,
+}
+
+lamellar_core::impl_codec!(ThrowOptAm { shard, slots, darts, seed });
+
+impl LamellarAm for ThrowOptAm {
+    type Output = Vec<u64>;
+    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = Vec<u64>> + Send {
+        async move {
+            let len = self.shard.slots.len();
+            let mut rng = SplitMix64::new(self.seed, 0);
+            let mut rejects = Vec::new();
+            'darts: for (&slot, &dart) in self.slots.iter().zip(&self.darts) {
+                if self.shard.try_stick(slot as usize, dart) {
+                    continue;
+                }
+                // "randomly select a new location on the current PE
+                // (unless all locations on this PE are filled)".
+                while self.shard.filled.load(Ordering::Relaxed) < len {
+                    if self.shard.try_stick(rng.below(len), dart) {
+                        continue 'darts;
+                    }
+                }
+                rejects.push(dart);
+            }
+            rejects
+        }
+    }
+}
+
+/// Push-variant target: an append-only per-PE list.
+#[derive(Clone, Debug)]
+pub struct PushAm {
+    /// The destination PE's list.
+    pub list: Darc<Mutex<Vec<u64>>>,
+    /// Darts to append (raw values, not +1 encoded — a push never fails).
+    pub darts: Vec<u64>,
+}
+
+lamellar_core::impl_codec!(PushAm { list, darts });
+
+impl LamellarAm for PushAm {
+    type Output = ();
+    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = ()> + Send {
+        async move {
+            self.list.lock().extend_from_slice(&self.darts);
+        }
+    }
+}
+
+fn throw_rounds<F>(
+    world: &LamellarWorld,
+    cfg: &PermConfig,
+    rng: &mut SplitMix64,
+    mut launch_bin: F,
+) -> std::time::Duration
+where
+    F: FnMut(usize, Vec<u32>, Vec<u64>) -> lamellar_core::am::AmHandle<Vec<u64>>,
+{
+    let npes = world.num_pes();
+    let me = world.my_pe();
+    let tlen = cfg.target_per_pe * npes;
+    let mut darts: Vec<u64> = (0..cfg.perm_per_pe)
+        .map(|i| (me * cfg.perm_per_pe + i) as u64 + 1)
+        .collect();
+    world.barrier();
+
+    let timer = Instant::now();
+    while !darts.is_empty() {
+        // Bin throws by destination PE (block distribution of the target).
+        let mut slot_bins: Vec<Vec<u32>> = vec![Vec::new(); npes];
+        let mut dart_bins: Vec<Vec<u64>> = vec![Vec::new(); npes];
+        let mut handles = Vec::new();
+        for d in darts.drain(..) {
+            let g = rng.below(tlen);
+            let dst = g / cfg.target_per_pe;
+            slot_bins[dst].push((g % cfg.target_per_pe) as u32);
+            dart_bins[dst].push(d);
+            if slot_bins[dst].len() >= cfg.batch {
+                handles.push(launch_bin(
+                    dst,
+                    std::mem::take(&mut slot_bins[dst]),
+                    std::mem::take(&mut dart_bins[dst]),
+                ));
+            }
+        }
+        for dst in 0..npes {
+            if !slot_bins[dst].is_empty() {
+                handles.push(launch_bin(
+                    dst,
+                    std::mem::take(&mut slot_bins[dst]),
+                    std::mem::take(&mut dart_bins[dst]),
+                ));
+            }
+        }
+        for h in handles {
+            darts.extend(world.block_on(h));
+        }
+    }
+    world.wait_all();
+    world.barrier();
+    timer.elapsed()
+}
+
+/// **AM Darts**: manual aggregation of throws; rejects return to the
+/// thrower and are re-thrown anywhere.
+pub fn randperm_am_darts(world: &LamellarWorld, cfg: &PermConfig) -> KernelResult {
+    let npes = world.num_pes();
+    let n = cfg.perm_per_pe * npes;
+    let shard = Darc::new(&world.team(), Shard::new(cfg.target_per_pe));
+    let mut rng = SplitMix64::new(cfg.seed, world.my_pe());
+    let shard2 = shard.clone();
+    let elapsed = throw_rounds(world, cfg, &mut rng, |dst, slots, darts| {
+        world.exec_am_pe(dst, ThrowAm { shard: shard2.clone(), slots, darts })
+    });
+    verify_distributed(world, shard.in_order(), n);
+    KernelResult { elapsed, global_ops: n }
+}
+
+/// **AM Darts Opt**: rejects re-slot locally on the destination PE.
+pub fn randperm_am_darts_opt(world: &LamellarWorld, cfg: &PermConfig) -> KernelResult {
+    let npes = world.num_pes();
+    let n = cfg.perm_per_pe * npes;
+    let shard = Darc::new(&world.team(), Shard::new(cfg.target_per_pe));
+    let mut rng = SplitMix64::new(cfg.seed, world.my_pe());
+    let shard2 = shard.clone();
+    let seed = cfg.seed ^ 0x5EED;
+    let elapsed = throw_rounds(world, cfg, &mut rng, |dst, slots, darts| {
+        world.exec_am_pe(dst, ThrowOptAm { shard: shard2.clone(), slots, darts, seed })
+    });
+    verify_distributed(world, shard.in_order(), n);
+    KernelResult { elapsed, global_ops: n }
+}
+
+/// **AM Push**: shuffle locally, then append each dart to a random PE's
+/// list — no throw ever fails.
+pub fn randperm_am_push(world: &LamellarWorld, cfg: &PermConfig) -> KernelResult {
+    let npes = world.num_pes();
+    let me = world.my_pe();
+    let n = cfg.perm_per_pe * npes;
+    let list = Darc::new(&world.team(), Mutex::new(Vec::<u64>::new()));
+    let mut rng = SplitMix64::new(cfg.seed, me);
+    let mut darts: Vec<u64> =
+        (0..cfg.perm_per_pe).map(|i| (me * cfg.perm_per_pe + i) as u64).collect();
+    world.barrier();
+
+    let timer = Instant::now();
+    // "first randomizes the darts slice on each PE (locally)" —
+    // Fisher-Yates.
+    for i in (1..darts.len()).rev() {
+        darts.swap(i, rng.below(i + 1));
+    }
+    // "then randomly selects another PE for each dart ... it is pushed to
+    // the end of the Target vector on that PE".
+    let mut bins: Vec<Vec<u64>> = vec![Vec::new(); npes];
+    for d in darts {
+        let dst = rng.below(npes);
+        bins[dst].push(d);
+        if bins[dst].len() >= cfg.batch {
+            drop(world.exec_am_pe(dst, PushAm { list: list.clone(), darts: std::mem::take(&mut bins[dst]) }));
+        }
+    }
+    for (dst, darts) in bins.into_iter().enumerate() {
+        if !darts.is_empty() {
+            drop(world.exec_am_pe(dst, PushAm { list: list.clone(), darts }));
+        }
+    }
+    world.wait_all();
+    world.barrier();
+    let elapsed = timer.elapsed();
+
+    let local = list.lock().clone();
+    verify_distributed(world, local, n);
+    KernelResult { elapsed, global_ops: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamellar_core::world::launch;
+
+    #[test]
+    fn array_darts_produces_permutation() {
+        let cfg = PermConfig::test_small();
+        launch(3, move |world| randperm_array_darts(&world, &cfg));
+    }
+
+    #[test]
+    fn am_darts_produces_permutation() {
+        let cfg = PermConfig::test_small();
+        launch(3, move |world| randperm_am_darts(&world, &cfg));
+    }
+
+    #[test]
+    fn am_darts_opt_produces_permutation() {
+        let cfg = PermConfig::test_small();
+        launch(2, move |world| randperm_am_darts_opt(&world, &cfg));
+    }
+
+    #[test]
+    fn am_push_produces_permutation() {
+        let cfg = PermConfig::test_small();
+        launch(2, move |world| randperm_am_push(&world, &cfg));
+    }
+
+    #[test]
+    fn shard_try_stick_semantics() {
+        let s = Shard::new(4);
+        assert!(s.try_stick(2, 7));
+        assert!(!s.try_stick(2, 8));
+        assert_eq!(s.in_order(), vec![6]);
+        assert_eq!(s.filled.load(Ordering::Relaxed), 1);
+    }
+}

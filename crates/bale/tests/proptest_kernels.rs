@@ -1,0 +1,69 @@
+//! Property tests over the BALE kernels: conservation and permutation
+//! invariants must hold for arbitrary (small) problem shapes, not just the
+//! tuned benchmark sizes.
+
+use bale_suite::common::{PermConfig, TableConfig};
+use lamellar_core::world::launch;
+use oshmem_sim::shmem_launch;
+use proptest::prelude::*;
+
+proptest! {
+    // Each case spins up worlds; keep counts small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Histogram conserves updates for arbitrary table sizes, update
+    /// counts, and batch limits — across both substrates.
+    #[test]
+    fn histogram_conserves_for_arbitrary_shapes(
+        table_per_pe in 1usize..64,
+        updates_per_pe in 1usize..800,
+        batch in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let cfg = TableConfig { table_per_pe, updates_per_pe, batch, seed };
+        // Lamellar AtomicArray path (verifies internally via sum()).
+        launch(2, move |world| {
+            bale_suite::histo::histo_lamellar_atomic_array(&world, &cfg)
+        });
+        // Exstack path (verifies internally via symmetric gather).
+        shmem_launch(2, 8, move |ctx| {
+            bale_suite::histo::baselines::histo_exstack(&ctx, &cfg)
+        });
+    }
+
+    /// Randperm produces a true permutation for arbitrary sizes and target
+    /// ratios ≥ 1 (the dart board must be at least as large as N).
+    #[test]
+    fn randperm_is_permutation_for_arbitrary_shapes(
+        perm_per_pe in 1usize..150,
+        extra in 0usize..150,
+        batch in 1usize..100,
+        seed in 0u64..1000,
+    ) {
+        let cfg = PermConfig {
+            perm_per_pe,
+            target_per_pe: perm_per_pe + extra.max(1),
+            batch,
+            seed,
+        };
+        // Internal verification asserts the permutation property.
+        launch(2, move |world| {
+            bale_suite::randperm::randperm_am_darts(&world, &cfg)
+        });
+    }
+
+    /// IndexGather returns exact values for arbitrary shapes (Lamellar
+    /// ReadOnlyArray path; verifies every gathered element internally).
+    #[test]
+    fn index_gather_exact_for_arbitrary_shapes(
+        table_per_pe in 1usize..64,
+        updates_per_pe in 1usize..600,
+        batch in 1usize..200,
+        seed in 0u64..1000,
+    ) {
+        let cfg = TableConfig { table_per_pe, updates_per_pe, batch, seed };
+        launch(2, move |world| {
+            bale_suite::index_gather::ig_lamellar_read_only(&world, &cfg)
+        });
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion sampling of the Fig. 2 transfer mechanisms at three
+//! representative sizes (small / threshold / large). The companion binary
+//! `fig2_bandwidth` sweeps the full curve.
+//!
+//! Structure: the benchmark thread acts as PE 0; a helper thread acts as
+//! PE 1, participating in the collective constructions and then parking
+//! (its progress engine keeps servicing PE 0's traffic) until told to
+//! tear down.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lamellar_array::prelude::*;
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::prelude::*;
+use lamellar_core::world::spawn_worlds;
+use std::sync::mpsc;
+
+lamellar_core::am! {
+    /// Raw-bytes AM whose exec returns immediately (the Fig. 2 AM series).
+    pub struct BlobAm { pub data: Vec<u8> }
+    exec(_am, _ctx) -> () { }
+}
+
+const MAX: usize = 1 << 20;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut worlds = spawn_worlds(WorldConfig::new(2).backend(Backend::Rofi).threads_per_pe(2));
+    let w1 = worlds.pop().unwrap();
+    let w0 = worlds.pop().unwrap();
+
+    // PE 1: mirror the collective constructions, then park.
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let peer = std::thread::spawn(move || {
+        let _region: SharedMemoryRegion<u8> = w1.alloc_shared_mem_region(MAX);
+        let _arr = UnsafeArray::<u8>::new(&w1, 2 * MAX, Distribution::Block);
+        w1.barrier();
+        let _ = stop_rx.recv();
+        // Dropping everything here joins PE 0 in the teardown barrier.
+    });
+
+    // PE 0 (this thread): the same collectives, in the same order.
+    let region: SharedMemoryRegion<u8> = w0.alloc_shared_mem_region(MAX);
+    let arr = UnsafeArray::<u8>::new(&w0, 2 * MAX, Distribution::Block);
+    w0.barrier();
+
+    let mut group = c.benchmark_group("fig2_put");
+    for size in [256usize, 100 << 10, 1 << 20] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.sample_size(10);
+        let buf = vec![7u8; size];
+        group.bench_with_input(BenchmarkId::new("memregion", size), &size, |b, _| {
+            b.iter(|| {
+                // SAFETY: PE1 never reads/writes this range.
+                unsafe { region.put(1, 0, &buf) };
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unsafe_unchecked", size), &size, |b, _| {
+            b.iter(|| {
+                // SAFETY: PE1's block, untouched elsewhere.
+                unsafe { arr.put_unchecked(MAX, &buf) };
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("am", size), &size, |b, _| {
+            b.iter(|| {
+                drop(w0.exec_am_pe(1, BlobAm { data: buf.clone() }));
+                w0.wait_all();
+            })
+        });
+    }
+    group.finish();
+
+    // Teardown: release PE 1 first so both sides meet in the final barrier.
+    drop(stop_tx);
+    drop(arr);
+    drop(region);
+    drop(w0);
+    let _ = peer.join();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion sampling of the Fig. 3 Histogram implementations at a small
+//! fixed size (2 PEs). The companion binary `fig3_histogram` sweeps PE
+//! counts and all seven series.
+
+use bale_suite::common::TableConfig;
+use bale_suite::histo::baselines::{histo_chapel, histo_exstack};
+use bale_suite::histo::{histo_lamellar_am, histo_lamellar_atomic_array};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::world::launch_with_config;
+use oshmem_sim::shmem_launch;
+
+fn small_cfg() -> TableConfig {
+    TableConfig { table_per_pe: 1_000, updates_per_pe: 20_000, batch: 2_000, seed: 42 }
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_histogram_2pe");
+    group.sample_size(10);
+    let cfg = small_cfg();
+
+    group.bench_function("lamellar_am", |b| {
+        b.iter(|| {
+            launch_with_config(WorldConfig::new(2).backend(Backend::Rofi), move |world| {
+                histo_lamellar_am(&world, &cfg)
+            })
+        })
+    });
+    group.bench_function("lamellar_atomic_array", |b| {
+        b.iter(|| {
+            launch_with_config(WorldConfig::new(2).backend(Backend::Rofi), move |world| {
+                histo_lamellar_atomic_array(&world, &cfg)
+            })
+        })
+    });
+    group.bench_function("exstack", |b| {
+        b.iter(|| shmem_launch(2, 32, move |ctx| histo_exstack(&ctx, &cfg)))
+    });
+    group.bench_function("chapel_agg", |b| {
+        b.iter(|| shmem_launch(2, 32, move |ctx| histo_chapel(&ctx, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

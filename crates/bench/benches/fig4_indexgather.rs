@@ -1,0 +1,46 @@
+//! Criterion sampling of the Fig. 4 IndexGather implementations at a small
+//! fixed size (2 PEs). The companion binary `fig4_indexgather` sweeps PE
+//! counts and all seven series.
+
+use bale_suite::common::TableConfig;
+use bale_suite::index_gather::baselines::{ig_chapel, ig_exstack};
+use bale_suite::index_gather::{ig_lamellar_am, ig_lamellar_read_only};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::world::launch_with_config;
+use oshmem_sim::shmem_launch;
+
+fn small_cfg() -> TableConfig {
+    TableConfig { table_per_pe: 1_000, updates_per_pe: 20_000, batch: 2_000, seed: 42 }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_indexgather_2pe");
+    group.sample_size(10);
+    let cfg = small_cfg();
+
+    group.bench_function("lamellar_am", |b| {
+        b.iter(|| {
+            launch_with_config(WorldConfig::new(2).backend(Backend::Rofi), move |world| {
+                ig_lamellar_am(&world, &cfg)
+            })
+        })
+    });
+    group.bench_function("lamellar_read_only", |b| {
+        b.iter(|| {
+            launch_with_config(WorldConfig::new(2).backend(Backend::Rofi), move |world| {
+                ig_lamellar_read_only(&world, &cfg)
+            })
+        })
+    });
+    group.bench_function("exstack", |b| {
+        b.iter(|| shmem_launch(2, 32, move |ctx| ig_exstack(&ctx, &cfg)))
+    });
+    group.bench_function("chapel_agg", |b| {
+        b.iter(|| shmem_launch(2, 32, move |ctx| ig_chapel(&ctx, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion sampling of the Fig. 5 Randperm implementations at a small
+//! fixed size (2 PEs). The companion binary `fig5_randperm` sweeps PE
+//! counts and all seven series.
+
+use bale_suite::common::PermConfig;
+use bale_suite::randperm::baselines::randperm_exstack;
+use bale_suite::randperm::{randperm_am_darts, randperm_am_push, randperm_array_darts};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::world::launch_with_config;
+use oshmem_sim::shmem_launch;
+
+fn small_cfg() -> PermConfig {
+    PermConfig { perm_per_pe: 2_000, target_per_pe: 4_000, batch: 1_000, seed: 42 }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_randperm_2pe");
+    group.sample_size(10);
+    let cfg = small_cfg();
+
+    group.bench_function("array_darts", |b| {
+        b.iter(|| {
+            launch_with_config(WorldConfig::new(2).backend(Backend::Rofi), move |world| {
+                randperm_array_darts(&world, &cfg)
+            })
+        })
+    });
+    group.bench_function("am_darts", |b| {
+        b.iter(|| {
+            launch_with_config(WorldConfig::new(2).backend(Backend::Rofi), move |world| {
+                randperm_am_darts(&world, &cfg)
+            })
+        })
+    });
+    group.bench_function("am_push", |b| {
+        b.iter(|| {
+            launch_with_config(WorldConfig::new(2).backend(Backend::Rofi), move |world| {
+                randperm_am_push(&world, &cfg)
+            })
+        })
+    });
+    group.bench_function("exstack", |b| {
+        b.iter(|| shmem_launch(2, 32, move |ctx| randperm_exstack(&ctx, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the runtime's building blocks: codec
+//! throughput, executor spawn/turnaround, oneshot latency, and the
+//! wire-queue fast path. These quantify the per-op overheads behind the
+//! macro results in Figs. 2–5.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lamellar_codec::Codec;
+use lamellar_core::lamellae::queue::{queue_footprint, QueueTransport};
+use lamellar_executor::{oneshot, PoolConfig, ThreadPool};
+use rofi_sim::fabric::{Fabric, FabricConfig};
+use rofi_sim::NetConfig;
+use std::sync::Arc;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(30);
+
+    let payload: Vec<u64> = (0..1000).collect();
+    group.throughput(Throughput::Bytes((payload.len() * 8) as u64));
+    group.bench_function("encode_vec_u64_1k", |b| {
+        let mut buf = Vec::with_capacity(9000);
+        b.iter(|| {
+            buf.clear();
+            payload.encode(&mut buf);
+            std::hint::black_box(&buf);
+        })
+    });
+    let bytes = payload.to_bytes();
+    group.bench_function("decode_vec_u64_1k", |b| {
+        b.iter(|| std::hint::black_box(Vec::<u64>::from_bytes(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(20);
+    let pool = ThreadPool::new(PoolConfig::with_workers(2));
+
+    group.bench_function("spawn_await_roundtrip", |b| {
+        b.iter(|| {
+            let h = pool.spawn(async { 1u32 });
+            std::hint::black_box(pool.block_on(h))
+        })
+    });
+    group.bench_function("spawn_burst_100_detached", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                drop(pool.spawn(async {}));
+            }
+            pool.wait_idle();
+        })
+    });
+    group.bench_function("oneshot_send_recv", |b| {
+        b.iter(|| {
+            let (tx, rx) = oneshot::<u64>();
+            tx.send(7);
+            std::hint::black_box(rx.try_recv())
+        })
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_queue");
+    group.sample_size(20);
+    let buf_size = 64 << 10;
+    let endpoints = Fabric::new(FabricConfig {
+        num_pes: 2,
+        sym_len: queue_footprint(2, buf_size) + 4096,
+        heap_len: 4096,
+        net: NetConfig::disabled(),
+    });
+    let base = endpoints[0].fabric().alloc_symmetric(queue_footprint(2, buf_size), 64).unwrap();
+    let qs: Vec<Arc<QueueTransport>> = endpoints
+        .into_iter()
+        .map(|ep| Arc::new(QueueTransport::new(ep, base, buf_size, 1)))
+        .collect();
+
+    for size in [64usize, 4096] {
+        group.throughput(Throughput::Bytes(size as u64));
+        let msg = vec![7u8; size];
+        group.bench_function(format!("send_recv_{size}B"), |b| {
+            b.iter(|| {
+                qs[0].send(1, &msg);
+                let mut got = 0usize;
+                while got == 0 {
+                    qs[1].progress(&mut |_, d| got += d.len());
+                    qs[0].flush();
+                }
+                std::hint::black_box(got)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_executor, bench_wire);
+criterion_main!(benches);

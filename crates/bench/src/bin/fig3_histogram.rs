@@ -1,0 +1,95 @@
+//! Fig. 3 — Histogram kernel performance (MUPS, higher is better).
+//!
+//! Sweeps PE counts and runs all seven implementations from the paper:
+//! Exstack, Exstack2, Conveyors, Selectors, Chapel(DstAggregator),
+//! Lamellar AM (manual aggregation), Lamellar AtomicArray (Listing 2).
+//!
+//! Paper parameters: 1,000 table elements/core, 10,000,000 updates/core,
+//! 10,000-op buffers; `--scale` divides the update count for laptop runs.
+//!
+//! Usage: `cargo run --release -p lamellar-bench --bin fig3_histogram
+//! [--pes 1,2,4] [--scale 200] [--reps 3]`
+
+use bale_suite::common::{KernelResult, TableConfig};
+use bale_suite::histo::baselines::*;
+use bale_suite::histo::{histo_lamellar_am, histo_lamellar_atomic_array};
+use lamellar_bench::{arg_usize, arg_usize_list, ResultTable};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::world::launch_with_config;
+use oshmem_sim::{shmem_launch, ShmemCtx};
+
+fn best(results: Vec<KernelResult>) -> f64 {
+    // Kernel sections are collective; take the max elapsed (the real
+    // completion time) to compute MUPS.
+    let ops = results[0].global_ops;
+    let worst = results.iter().map(|r| r.elapsed).max().unwrap();
+    ops as f64 / worst.as_secs_f64() / 1e6
+}
+
+fn run_shmem(
+    pes: usize,
+    cfg: TableConfig,
+    reps: usize,
+    f: fn(&ShmemCtx, &TableConfig) -> KernelResult,
+) -> f64 {
+    (0..reps)
+        .map(|_| best(shmem_launch(pes, 64, move |ctx| f(&ctx, &cfg))))
+        .fold(0.0, f64::max)
+}
+
+fn run_lamellar(
+    pes: usize,
+    cfg: TableConfig,
+    reps: usize,
+    f: fn(&lamellar_core::world::LamellarWorld, &TableConfig) -> KernelResult,
+) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let wc = WorldConfig::new(pes).backend(if pes == 1 {
+                Backend::Smp
+            } else {
+                Backend::Rofi
+            });
+            best(launch_with_config(wc, move |world| f(&world, &cfg)))
+        })
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let pes_list = arg_usize_list("--pes", &[1, 2, 4]);
+    let scale = arg_usize("--scale", 500);
+    let reps = arg_usize("--reps", 2);
+    let cfg = TableConfig::paper_scaled(scale);
+    println!(
+        "Fig. 3 reproduction: Histogram, {} updates/PE (paper: 10M/core ÷ {scale}), table {}/PE, batch {} (avg of {reps} reps, best)",
+        cfg.updates_per_pe, cfg.table_per_pe, cfg.batch
+    );
+
+    let series = [
+        "Exstack",
+        "Exstack2",
+        "Conveyors",
+        "Selectors",
+        "Chapel",
+        "Lamellar-AM",
+        "Lamellar-Array",
+    ];
+    let mut table = ResultTable::new("Fig. 3: Histogram", "PEs", "MUPS", &series);
+    for &pes in &pes_list {
+        let row = vec![
+            Some(run_shmem(pes, cfg, reps, histo_exstack)),
+            Some(run_shmem(pes, cfg, reps, histo_exstack2)),
+            Some(run_shmem(pes, cfg, reps, histo_convey)),
+            Some(run_shmem(pes, cfg, reps, histo_selector)),
+            Some(run_shmem(pes, cfg, reps, histo_chapel)),
+            Some(run_lamellar(pes, cfg, reps, histo_lamellar_am)),
+            Some(run_lamellar(pes, cfg, reps, histo_lamellar_atomic_array)),
+        ];
+        table.push_row(pes, row);
+        eprintln!("  finished {pes} PEs");
+    }
+    print!("{}", table.render());
+    if let Ok(p) = table.write_csv("fig3_histogram") {
+        println!("csv: {}", p.display());
+    }
+}

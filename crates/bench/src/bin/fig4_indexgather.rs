@@ -1,0 +1,93 @@
+//! Fig. 4 — IndexGather kernel performance (MUPS, higher is better).
+//!
+//! Same seven series as Fig. 3, with reads instead of writes: Exstack,
+//! Exstack2, Conveyors, Selectors, Chapel (SrcAggregator — the paper's
+//! winner), Lamellar AM, and Lamellar ReadOnlyArray (`batch_load`).
+//! Expected shape: everyone below their Histogram numbers (two messages
+//! per op), Chapel on top, and the two Lamellar curves *reversed* relative
+//! to Fig. 3 at scale.
+//!
+//! Usage: `cargo run --release -p lamellar-bench --bin fig4_indexgather
+//! [--pes 1,2,4] [--scale 500] [--reps 2]`
+
+use bale_suite::common::{KernelResult, TableConfig};
+use bale_suite::index_gather::baselines::*;
+use bale_suite::index_gather::{ig_lamellar_am, ig_lamellar_read_only};
+use lamellar_bench::{arg_usize, arg_usize_list, ResultTable};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::world::launch_with_config;
+use oshmem_sim::{shmem_launch, ShmemCtx};
+
+fn best(results: Vec<KernelResult>) -> f64 {
+    let ops = results[0].global_ops;
+    let worst = results.iter().map(|r| r.elapsed).max().unwrap();
+    ops as f64 / worst.as_secs_f64() / 1e6
+}
+
+fn run_shmem(
+    pes: usize,
+    cfg: TableConfig,
+    reps: usize,
+    f: fn(&ShmemCtx, &TableConfig) -> KernelResult,
+) -> f64 {
+    (0..reps)
+        .map(|_| best(shmem_launch(pes, 64, move |ctx| f(&ctx, &cfg))))
+        .fold(0.0, f64::max)
+}
+
+fn run_lamellar(
+    pes: usize,
+    cfg: TableConfig,
+    reps: usize,
+    f: fn(&lamellar_core::world::LamellarWorld, &TableConfig) -> KernelResult,
+) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let wc = WorldConfig::new(pes).backend(if pes == 1 {
+                Backend::Smp
+            } else {
+                Backend::Rofi
+            });
+            best(launch_with_config(wc, move |world| f(&world, &cfg)))
+        })
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let pes_list = arg_usize_list("--pes", &[1, 2, 4]);
+    let scale = arg_usize("--scale", 500);
+    let reps = arg_usize("--reps", 2);
+    let cfg = TableConfig::paper_scaled(scale);
+    println!(
+        "Fig. 4 reproduction: IndexGather, {} requests/PE (paper: 10M/core ÷ {scale}), table {}/PE, batch {}",
+        cfg.updates_per_pe, cfg.table_per_pe, cfg.batch
+    );
+
+    let series = [
+        "Exstack",
+        "Exstack2",
+        "Conveyors",
+        "Selectors",
+        "Chapel",
+        "Lamellar-AM",
+        "Lamellar-ReadOnly",
+    ];
+    let mut table = ResultTable::new("Fig. 4: IndexGather", "PEs", "MUPS", &series);
+    for &pes in &pes_list {
+        let row = vec![
+            Some(run_shmem(pes, cfg, reps, ig_exstack)),
+            Some(run_shmem(pes, cfg, reps, ig_exstack2)),
+            Some(run_shmem(pes, cfg, reps, ig_convey)),
+            Some(run_shmem(pes, cfg, reps, ig_selector)),
+            Some(run_shmem(pes, cfg, reps, ig_chapel)),
+            Some(run_lamellar(pes, cfg, reps, ig_lamellar_am)),
+            Some(run_lamellar(pes, cfg, reps, ig_lamellar_read_only)),
+        ];
+        table.push_row(pes, row);
+        eprintln!("  finished {pes} PEs");
+    }
+    print!("{}", table.render());
+    if let Ok(p) = table.write_csv("fig4_indexgather") {
+        println!("csv: {}", p.display());
+    }
+}

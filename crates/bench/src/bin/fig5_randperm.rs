@@ -1,0 +1,91 @@
+//! Fig. 5 — Randperm running time (seconds, **lower** is better).
+//!
+//! Series: the four Lamellar variants (Array Darts, AM Darts, AM Darts
+//! Opt, AM Push) and the OpenSHMEM-side baselines (Exstack, Exstack2,
+//! Conveyors). Paper parameters: 1M elements/core to permute, 2M/core
+//! target; expected shape: roughly flat per-PE time (work per PE is
+//! constant), with the communication-minimizing variants (Darts Opt, Push)
+//! fastest.
+//!
+//! Usage: `cargo run --release -p lamellar-bench --bin fig5_randperm
+//! [--pes 1,2,4] [--scale 200] [--reps 2]`
+
+use bale_suite::common::{KernelResult, PermConfig};
+use bale_suite::randperm::baselines::*;
+use bale_suite::randperm::*;
+use lamellar_bench::{arg_usize, arg_usize_list, ResultTable};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::world::launch_with_config;
+use oshmem_sim::{shmem_launch, ShmemCtx};
+
+fn secs(results: Vec<KernelResult>) -> f64 {
+    results.iter().map(|r| r.elapsed).max().unwrap().as_secs_f64()
+}
+
+fn run_shmem(
+    pes: usize,
+    cfg: PermConfig,
+    reps: usize,
+    f: fn(&ShmemCtx, &PermConfig) -> KernelResult,
+) -> f64 {
+    (0..reps)
+        .map(|_| secs(shmem_launch(pes, 64, move |ctx| f(&ctx, &cfg))))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn run_lamellar(
+    pes: usize,
+    cfg: PermConfig,
+    reps: usize,
+    f: fn(&lamellar_core::world::LamellarWorld, &PermConfig) -> KernelResult,
+) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let wc = WorldConfig::new(pes).backend(if pes == 1 {
+                Backend::Smp
+            } else {
+                Backend::Rofi
+            });
+            secs(launch_with_config(wc, move |world| f(&world, &cfg)))
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let pes_list = arg_usize_list("--pes", &[1, 2, 4]);
+    let scale = arg_usize("--scale", 200);
+    let reps = arg_usize("--reps", 2);
+    let cfg = PermConfig::paper_scaled(scale);
+    println!(
+        "Fig. 5 reproduction: Randperm, {} elements/PE to permute (paper: 1M/core ÷ {scale}), target {}/PE",
+        cfg.perm_per_pe, cfg.target_per_pe
+    );
+
+    let series = [
+        "Exstack",
+        "Exstack2",
+        "Conveyors",
+        "Array-Darts",
+        "AM-Darts",
+        "AM-Darts-Opt",
+        "AM-Push",
+    ];
+    let mut table = ResultTable::new("Fig. 5: Randperm time", "PEs", "seconds", &series);
+    for &pes in &pes_list {
+        let row = vec![
+            Some(run_shmem(pes, cfg, reps, randperm_exstack)),
+            Some(run_shmem(pes, cfg, reps, randperm_exstack2)),
+            Some(run_shmem(pes, cfg, reps, randperm_convey)),
+            Some(run_lamellar(pes, cfg, reps, randperm_array_darts)),
+            Some(run_lamellar(pes, cfg, reps, randperm_am_darts)),
+            Some(run_lamellar(pes, cfg, reps, randperm_am_darts_opt)),
+            Some(run_lamellar(pes, cfg, reps, randperm_am_push)),
+        ];
+        table.push_row(pes, row);
+        eprintln!("  finished {pes} PEs");
+    }
+    print!("{}", table.render());
+    if let Ok(p) = table.write_csv("fig5_randperm") {
+        println!("csv: {}", p.display());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for decode failures.
+//!
+//! Encoding is infallible (it only appends to a `Vec<u8>`); decoding can fail
+//! when a buffer is truncated, contains an invalid discriminant, or carries a
+//! type hash that does not match the expected AM type.
+
+use std::fmt;
+
+/// Result alias used throughout the codec.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+/// Reasons a decode can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The reader ran out of bytes: `needed` more were required but only
+    /// `available` remained.
+    UnexpectedEof { needed: usize, available: usize },
+    /// A varint ran past its maximum encoded width (corrupt stream).
+    VarintOverflow,
+    /// An enum discriminant was outside the valid range for the type.
+    InvalidDiscriminant { type_name: &'static str, value: u64 },
+    /// A `char` payload was not a valid Unicode scalar value.
+    InvalidChar(u32),
+    /// A string payload was not valid UTF-8.
+    InvalidUtf8,
+    /// `from_bytes` finished decoding with bytes left over.
+    TrailingBytes { remaining: usize },
+    /// A registered-type hash did not match any known type (AM registry).
+    UnknownTypeHash(u64),
+    /// A length prefix exceeded a sanity limit (guards against corrupt
+    /// streams allocating absurd buffers).
+    LengthOutOfRange { len: u64, max: u64 },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, available } => {
+                write!(f, "unexpected end of buffer: needed {needed} bytes, {available} available")
+            }
+            CodecError::VarintOverflow => write!(f, "varint exceeded maximum width"),
+            CodecError::InvalidDiscriminant { type_name, value } => {
+                write!(f, "invalid discriminant {value} for {type_name}")
+            }
+            CodecError::InvalidChar(v) => write!(f, "invalid char scalar {v:#x}"),
+            CodecError::InvalidUtf8 => write!(f, "string payload is not valid UTF-8"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+            CodecError::UnknownTypeHash(h) => write!(f, "unknown registered type hash {h:#x}"),
+            CodecError::LengthOutOfRange { len, max } => {
+                write!(f, "length prefix {len} exceeds limit {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodecError::UnexpectedEof { needed: 4, available: 1 };
+        assert!(e.to_string().contains("needed 4"));
+        let e = CodecError::UnknownTypeHash(0xabcd);
+        assert!(e.to_string().contains("abcd"));
+    }
+}

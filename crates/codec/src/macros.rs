@@ -1,0 +1,181 @@
+//! `macro_rules!` stand-ins for the paper's `#[AmData]` procedural macro.
+//!
+//! The real Lamellar uses attribute proc-macros to implement serialization
+//! for user structs at compile time. Proc-macros need `syn`/`quote` (outside
+//! this reproduction's dependency policy), so we provide declarative macros
+//! that implement [`Codec`](crate::Codec) for named-field structs and
+//! C-style/newtype enums. A compile error is produced if a field type does
+//! not implement `Codec` — the same failure mode the paper describes for
+//! `#[AmData]` ("if this fails, a compile-time error is produced").
+
+/// Implement [`Codec`](crate::Codec) for a struct with named fields.
+///
+/// ```
+/// use lamellar_codec::{impl_codec, Codec};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Point { x: f64, y: f64, tag: String }
+/// impl_codec!(Point { x, y, tag });
+///
+/// let p = Point { x: 1.0, y: -2.0, tag: "origin-ish".into() };
+/// assert_eq!(Point::from_bytes(&p.to_bytes()).unwrap(), p);
+/// ```
+#[macro_export]
+macro_rules! impl_codec {
+    // Named-field struct.
+    ($name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Codec for $name {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $( $crate::Codec::encode(&self.$field, buf); )*
+            }
+            fn decode(r: &mut $crate::Reader<'_>) -> $crate::Result<Self> {
+                Ok($name {
+                    $( $field: $crate::Codec::decode(r)?, )*
+                })
+            }
+        }
+    };
+    // Generic named-field struct: impl_codec!(Pair<T> { a, b });
+    ($name:ident < $($gen:ident),+ > { $($field:ident),* $(,)? }) => {
+        impl<$($gen: $crate::Codec),+> $crate::Codec for $name<$($gen),+> {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $( $crate::Codec::encode(&self.$field, buf); )*
+            }
+            fn decode(r: &mut $crate::Reader<'_>) -> $crate::Result<Self> {
+                Ok($name {
+                    $( $field: $crate::Codec::decode(r)?, )*
+                })
+            }
+        }
+    };
+    // Tuple struct: impl_codec!(Wrapper(0, 1));
+    ($name:ident ( $($idx:tt),* $(,)? )) => {
+        impl $crate::Codec for $name {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $( $crate::Codec::encode(&self.$idx, buf); )*
+            }
+            fn decode(r: &mut $crate::Reader<'_>) -> $crate::Result<Self> {
+                Ok($name (
+                    $( { let _ = $idx; $crate::Codec::decode(r)? }, )*
+                ))
+            }
+        }
+    };
+}
+
+/// Implement [`Codec`](crate::Codec) for an enum whose variants are either
+/// unit variants or carry a list of unnamed `Codec` payloads.
+///
+/// ```
+/// use lamellar_codec::{impl_codec_enum, Codec};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Op { Add(u64), Store(u64, u64), Flush }
+/// impl_codec_enum!(Op { Add(a), Store(a, b), Flush });
+///
+/// let op = Op::Store(3, 4);
+/// assert_eq!(Op::from_bytes(&op.to_bytes()).unwrap(), op);
+/// ```
+#[macro_export]
+macro_rules! impl_codec_enum {
+    ($name:ident { $($variant:ident $( ( $($field:ident),* ) )?),* $(,)? }) => {
+        impl $crate::Codec for $name {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                #[allow(unused_mut, unused_variables, unused_assignments)]
+                {
+                    let mut disc: u64 = 0;
+                    $(
+                        #[allow(unreachable_patterns)]
+                        if let $name::$variant $( ( $(ref $field),* ) )? = self {
+                            $crate::varint::write_u64(buf, disc);
+                            $( $( $crate::Codec::encode($field, buf); )* )?
+                            return;
+                        }
+                        disc += 1;
+                    )*
+                }
+            }
+            fn decode(r: &mut $crate::Reader<'_>) -> $crate::Result<Self> {
+                let disc = $crate::varint::read_u64(r)?;
+                #[allow(unused_mut, unused_assignments)]
+                let mut next: u64 = 0;
+                $(
+                    if disc == next {
+                        return Ok($name::$variant $( ( $( { let _ = stringify!($field); $crate::Codec::decode(r)? } ),* ) )? );
+                    }
+                    #[allow(unused_assignments)]
+                    { next += 1; }
+                )*
+                Err($crate::CodecError::InvalidDiscriminant {
+                    type_name: stringify!($name),
+                    value: disc,
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Codec;
+
+    #[derive(Debug, PartialEq)]
+    struct Plain {
+        a: u32,
+        b: String,
+        c: Vec<i64>,
+    }
+    impl_codec!(Plain { a, b, c });
+
+    #[derive(Debug, PartialEq)]
+    struct Pair<T> {
+        left: T,
+        right: T,
+    }
+    impl_codec!(Pair<T> { left, right });
+
+    #[derive(Debug, PartialEq)]
+    struct Wrap(u8, u64);
+    impl_codec!(Wrap(0, 1));
+
+    #[derive(Debug, PartialEq)]
+    enum Cmd {
+        Nop,
+        Add(u64),
+        Exchange(u64, u64),
+    }
+    impl_codec_enum!(Cmd { Nop, Add(a), Exchange(a, b) });
+
+    #[test]
+    fn struct_roundtrip() {
+        let v = Plain { a: 9, b: "abc".into(), c: vec![-5, 0, 5] };
+        assert_eq!(Plain::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn generic_struct_roundtrip() {
+        let v = Pair { left: vec![1u8], right: vec![2u8, 3] };
+        assert_eq!(Pair::<Vec<u8>>::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn tuple_struct_roundtrip() {
+        let v = Wrap(3, 1 << 40);
+        assert_eq!(Wrap::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn enum_roundtrip_all_variants() {
+        for v in [Cmd::Nop, Cmd::Add(7), Cmd::Exchange(1, 2)] {
+            let bytes = v.to_bytes();
+            assert_eq!(Cmd::from_bytes(&bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn enum_rejects_unknown_discriminant() {
+        let mut bytes = Vec::new();
+        crate::varint::write_u64(&mut bytes, 99);
+        assert!(Cmd::from_bytes(&bytes).is_err());
+    }
+}

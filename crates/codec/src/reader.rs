@@ -1,0 +1,114 @@
+//! Cursor over an immutable byte slice used by [`Codec::decode`](crate::Codec::decode).
+
+use crate::error::{CodecError, Result};
+
+/// A non-owning cursor over a byte buffer.
+///
+/// All decode operations consume from the front. The reader tracks its
+/// position so callers can decode a sequence of values packed back-to-back in
+/// one message buffer (how the Lamellae batches AMs).
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current offset from the start of the underlying buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consume and return the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { needed: n, available: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consume a single byte.
+    pub fn take_byte(&mut self) -> Result<u8> {
+        if self.remaining() < 1 {
+            return Err(CodecError::UnexpectedEof { needed: 1, available: 0 });
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Consume exactly `N` bytes into a fixed array (used for fixed-width
+    /// primitives).
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// Peek at the remaining bytes without consuming them.
+    pub fn peek(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Assert the reader is fully consumed (used by
+    /// [`Codec::from_bytes`](crate::Codec::from_bytes)).
+    pub fn finish(&self) -> Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes { remaining: self.remaining() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_advances_and_errors_at_eof() {
+        let data = [1u8, 2, 3, 4];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.take(2).unwrap(), &[1, 2]);
+        assert_eq!(r.position(), 2);
+        assert_eq!(r.take_byte().unwrap(), 3);
+        assert_eq!(r.remaining(), 1);
+        assert!(r.take(2).is_err());
+        assert_eq!(r.take_byte().unwrap(), 4);
+        assert!(r.finish().is_ok());
+        assert!(r.take_byte().is_err());
+    }
+
+    #[test]
+    fn take_array_reads_fixed_width() {
+        let data = 0x0102_0304u32.to_le_bytes();
+        let mut r = Reader::new(&data);
+        let arr: [u8; 4] = r.take_array().unwrap();
+        assert_eq!(u32::from_le_bytes(arr), 0x0102_0304);
+    }
+
+    #[test]
+    fn finish_reports_trailing() {
+        let data = [0u8; 3];
+        let r = Reader::new(&data);
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes { remaining: 3 }));
+    }
+}

@@ -1,0 +1,65 @@
+//! Stable 64-bit type identifiers for the AM registry.
+//!
+//! The paper's `#[am]` procedural macro "assigns each AM a unique identifier
+//! which is registered in a runtime lookup table, enabling AMs to properly
+//! deserialize and execute on remote PEs" (Sec. III-C). We derive that
+//! identifier from the type's fully-qualified name with FNV-1a: it is stable
+//! across PEs (they run the same binary) and across runs, and collisions are
+//! checked at registration time.
+
+/// A 64-bit identifier naming a registered wire type.
+pub type TypeId64 = u64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hash of a type name.
+///
+/// `const fn` so identifiers can live in statics.
+pub const fn type_hash(name: &str) -> TypeId64 {
+    let bytes = name.as_bytes();
+    let mut hash = FNV_OFFSET;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+        i += 1;
+    }
+    hash
+}
+
+/// Hash of a concrete Rust type via [`std::any::type_name`].
+pub fn type_hash_of<T: ?Sized>() -> TypeId64 {
+    type_hash(std::any::type_name::<T>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(type_hash("HelloWorldAM"), type_hash("HelloWorldAM"));
+    }
+
+    #[test]
+    fn distinct_names_distinct_hashes() {
+        assert_ne!(type_hash("HistoAM"), type_hash("IndexGatherAM"));
+        assert_ne!(type_hash("a"), type_hash("b"));
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("") is the offset basis.
+        assert_eq!(type_hash(""), FNV_OFFSET);
+        // FNV-1a("a") from the reference implementation.
+        assert_eq!(type_hash("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn type_hash_of_monomorphizes() {
+        assert_ne!(type_hash_of::<u8>(), type_hash_of::<u16>());
+        assert_ne!(type_hash_of::<Vec<u8>>(), type_hash_of::<Vec<u16>>());
+        assert_eq!(type_hash_of::<String>(), type_hash_of::<String>());
+    }
+}

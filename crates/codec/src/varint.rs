@@ -1,0 +1,158 @@
+//! LEB128 variable-length integers.
+//!
+//! Lengths and enum discriminants are almost always small, so varints keep
+//! AM headers compact — the paper's evaluation (Fig. 3–5) lives in the
+//! small-message regime where every header byte shows up in throughput.
+
+use crate::error::{CodecError, Result};
+use crate::reader::Reader;
+
+/// Maximum encoded width of a `u64` varint (ceil(64 / 7) bytes).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append the LEB128 encoding of `v` to `buf`.
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 `u64` from the reader.
+pub fn read_u64(r: &mut Reader<'_>) -> Result<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_LEN {
+        let byte = r.take_byte()?;
+        let low = (byte & 0x7f) as u64;
+        // The final (10th) byte may only contribute the single remaining bit.
+        if shift == 63 && low > 1 {
+            return Err(CodecError::VarintOverflow);
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(CodecError::VarintOverflow)
+}
+
+/// ZigZag-encode a signed value so small magnitudes stay small.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a ZigZag + LEB128 encoded signed integer.
+pub fn write_i64(buf: &mut Vec<u8>, v: i64) {
+    write_u64(buf, zigzag(v));
+}
+
+/// Decode a ZigZag + LEB128 signed integer.
+pub fn read_i64(r: &mut Reader<'_>) -> Result<i64> {
+    Ok(unzigzag(read_u64(r)?))
+}
+
+/// Encode a container length, bounded by a sanity limit to avoid attacker- or
+/// corruption-driven huge allocations during decode.
+pub fn write_len(buf: &mut Vec<u8>, len: usize) {
+    write_u64(buf, len as u64);
+}
+
+/// Decode a container length, enforcing `max`.
+pub fn read_len(r: &mut Reader<'_>, max: u64) -> Result<usize> {
+    let len = read_u64(r)?;
+    if len > max {
+        return Err(CodecError::LengthOutOfRange { len, max });
+    }
+    Ok(len as usize)
+}
+
+/// Default sanity limit for decoded container lengths (1 GiB of elements).
+pub const DEFAULT_MAX_LEN: u64 = 1 << 30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(v: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_u64(&mut r).unwrap(), v);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn u64_roundtrips_boundaries() {
+        for v in [0, 1, 127, 128, 255, 256, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            roundtrip_u(v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn zigzag_roundtrips() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 1234567, -1234567] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(read_i64(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small() {
+        assert!(zigzag(-1) < 8);
+        assert!(zigzag(3) < 8);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes can never terminate within MAX_VARINT_LEN.
+        let buf = [0x80u8; 11];
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_u64(&mut r), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn tenth_byte_overflow_rejected() {
+        // 9 continuation bytes then a final byte with more than 1 bit set.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x02);
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_u64(&mut r), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn len_limit_enforced() {
+        let mut buf = Vec::new();
+        write_len(&mut buf, 1000);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(read_len(&mut r, 10), Err(CodecError::LengthOutOfRange { .. })));
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        let buf = [0x80u8]; // continuation bit set, then nothing
+        let mut r = Reader::new(&buf);
+        assert!(matches!(read_u64(&mut r), Err(CodecError::UnexpectedEof { .. })));
+    }
+}

@@ -1,0 +1,258 @@
+//! The Active Message layer (paper Sec. III-C).
+//!
+//! An AM "contains both data ... and metadata that indicates how to process
+//! this data when it arrives at its destination". In Lamellar an AM is a
+//! struct implementing [`LamellarAm`]: its fields are the data (serialized
+//! by [`Codec`]), and `exec` is the computation, run asynchronously on the
+//! destination PE's thread pool.
+//!
+//! The paper exposes AMs through the `#[AmData]` and `#[am]` procedural
+//! macros; this reproduction's [`am!`](crate::am!) declarative macro plays the same
+//! role (see [`lamellar_codec::impl_codec!`] for why no proc-macros). Like
+//! the paper's macro, it "assigns each AM a unique identifier which is
+//! registered in a runtime lookup table, enabling AMs to properly
+//! deserialize and execute on remote PEs" — the identifier is the FNV-1a
+//! hash of the type name, and registration happens transparently on first
+//! launch (all simulated PEs share the process, hence the registry).
+
+pub use crate::runtime::AmContext;
+use lamellar_codec::{typeid::type_hash_of, Codec, CodecError};
+use lamellar_executor::OneshotReceiver;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::OnceLock;
+use std::task::{Context, Poll};
+
+/// A user-defined Active Message.
+///
+/// Trait bounds mirror the paper's: "(de)serialization, safe referencing
+/// from multiple threads (Sync), and safety to send from one thread to
+/// another (Send)".
+pub trait LamellarAm: Codec + Send + Sync + 'static {
+    /// Data returned to the launching PE ("Lamellar supports returning both
+    /// 'normal' data ... and AMs"; returning an AM is expressed by making
+    /// `Output` an AM type and launching it from the caller).
+    type Output: Codec + Send + Sync + 'static;
+
+    /// The computation performed on the destination PE. Async: AMs are
+    /// asynchronous tasks on the destination's thread pool.
+    fn exec(self, ctx: AmContext) -> impl Future<Output = Self::Output> + Send;
+}
+
+/// Type-erased executor stored in the registry: decode payload, run, encode
+/// output.
+pub type ErasedExec = fn(
+    &[u8],
+    AmContext,
+) -> Result<Pin<Box<dyn Future<Output = Vec<u8>> + Send + 'static>>, CodecError>;
+
+/// One registry entry.
+#[derive(Clone, Copy)]
+pub struct AmVTable {
+    /// Fully-qualified type name (collision diagnostics).
+    pub name: &'static str,
+    /// The erased decode-execute-encode function.
+    pub exec: ErasedExec,
+}
+
+fn registry() -> &'static RwLock<HashMap<u64, AmVTable>> {
+    static REGISTRY: OnceLock<RwLock<HashMap<u64, AmVTable>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+fn exec_erased<T: LamellarAm>(
+    payload: &[u8],
+    ctx: AmContext,
+) -> Result<Pin<Box<dyn Future<Output = Vec<u8>> + Send + 'static>>, CodecError> {
+    let am = T::from_bytes(payload)?;
+    Ok(Box::pin(async move { am.exec(ctx).await.to_bytes() }))
+}
+
+/// The stable identifier for an AM type (what the paper's `#[am]` macro
+/// assigns at compile time).
+pub fn am_id<T: LamellarAm>() -> u64 {
+    type_hash_of::<T>()
+}
+
+/// Register `T` in the runtime lookup table. Idempotent; panics on a hash
+/// collision between distinct types (never observed for FNV-1a over
+/// fully-qualified names, but checked regardless).
+pub fn register_am<T: LamellarAm>() -> u64 {
+    let id = am_id::<T>();
+    let name = std::any::type_name::<T>();
+    {
+        let reg = registry().read();
+        if let Some(existing) = reg.get(&id) {
+            assert_eq!(existing.name, name, "AM type-id collision: {} vs {name}", existing.name);
+            return id;
+        }
+    }
+    registry().write().entry(id).or_insert(AmVTable { name, exec: exec_erased::<T> });
+    id
+}
+
+/// Look up a registered AM by id.
+pub fn lookup_am(id: u64) -> Option<AmVTable> {
+    registry().read().get(&id).copied()
+}
+
+/// A typed handle to one in-flight AM request.
+///
+/// Awaiting it yields the AM's `Output` once the destination PE has executed
+/// the AM and the reply has arrived (reply payloads are decoded by the
+/// runtime in a context where Darcs can resolve). If the AM panicked on its
+/// destination, awaiting re-panics *here* with the remote message — the
+/// caller is the right place for the error to surface (a lost reply would
+/// otherwise hang `block_on`). Dropping the handle detaches: the AM still
+/// runs, and `wait_all()` still accounts for it.
+pub struct AmHandle<T> {
+    pub(crate) rx: OneshotReceiver<Result<T, String>>,
+}
+
+impl<T> Future for AmHandle<T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Some(Ok(v))) => Poll::Ready(v),
+            Poll::Ready(Some(Err(msg))) => {
+                panic!("AM panicked on its destination PE: {msg}")
+            }
+            Poll::Ready(None) => panic!("AM completed without a reply"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for AmHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AmHandle")
+    }
+}
+
+/// Handle to an `exec_am_all` broadcast: resolves to one output per PE,
+/// indexed by PE id.
+pub struct MultiAmHandle<T> {
+    pub(crate) handles: Vec<Option<AmHandle<T>>>,
+    pub(crate) results: Vec<Option<T>>,
+}
+
+impl<T> Unpin for MultiAmHandle<T> {}
+
+impl<T> Future for MultiAmHandle<T> {
+    type Output = Vec<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut all_done = true;
+        for (i, slot) in this.handles.iter_mut().enumerate() {
+            if let Some(handle) = slot {
+                match Pin::new(handle).poll(cx) {
+                    Poll::Ready(v) => {
+                        this.results[i] = Some(v);
+                        *slot = None;
+                    }
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            Poll::Ready(this.results.iter_mut().map(|r| r.take().expect("result")).collect())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for MultiAmHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MultiAmHandle({} PEs)", self.handles.len())
+    }
+}
+
+/// Define an Active Message: struct, serialization, and `exec` body in one
+/// declaration — the `macro_rules!` equivalent of the paper's
+/// `#[AmData]` + `#[am]` procedural macros.
+///
+/// ```
+/// use lamellar_core::active_messaging::prelude::*;
+///
+/// lamellar_core::am! {
+///     /// Adds `amount` to a remote accumulator (illustrative).
+///     pub struct AddAm { pub amount: usize }
+///     exec(am, ctx) -> usize {
+///         // runs on the destination PE
+///         am.amount * (ctx.current_pe() + 1)
+///     }
+/// }
+///
+/// let out = lamellar_core::world::launch(2, |world| {
+///     let h = world.exec_am_pe(1, AddAm { amount: 10 });
+///     world.block_on(h)
+/// });
+/// assert_eq!(out, vec![20, 20]);
+/// ```
+#[macro_export]
+macro_rules! am {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $( $fvis:vis $fname:ident : $fty:ty ),* $(,)?
+        }
+        exec($am:ident, $ctx:ident) -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Debug)]
+        $vis struct $name {
+            $( $fvis $fname : $fty, )*
+        }
+
+        $crate::impl_codec!($name { $($fname),* });
+
+        impl $crate::am::LamellarAm for $name {
+            type Output = $out;
+            fn exec(
+                self,
+                ctx: $crate::runtime::AmContext,
+            ) -> impl ::std::future::Future<Output = $out> + Send {
+                let $am = self;
+                let $ctx = ctx;
+                async move { $body }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct PingAm {
+        x: u64,
+    }
+    crate::impl_codec!(PingAm { x });
+
+    impl LamellarAm for PingAm {
+        type Output = u64;
+        fn exec(self, _ctx: AmContext) -> impl Future<Output = u64> + Send {
+            async move { self.x + 1 }
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let a = register_am::<PingAm>();
+        let b = register_am::<PingAm>();
+        assert_eq!(a, b);
+        assert!(lookup_am(a).is_some());
+        assert!(lookup_am(a).unwrap().name.contains("PingAm"));
+    }
+
+    #[test]
+    fn unknown_id_lookup_fails() {
+        assert!(lookup_am(0xdead_beef_0bad_f00d).is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Runtime configuration: backend selection and tunables.
+
+/// Which Lamellae implementation backs a world (paper Sec. III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Distributed simulation: full (de)serialization, flag-based message
+    /// queues, and the network cost model. The stand-in for ROFI/libfabric.
+    Rofi,
+    /// Same machinery over plain shared memory — no cost model. "The key
+    /// difference is that instead of creating RDMA Memory Regions it simply
+    /// allocates shared memory segments" (Sec. III-A.2).
+    Shmem,
+    /// Single-process, single-PE: no data transfer, no (de)serialization
+    /// (Sec. III-A.3). Only valid for 1-PE worlds.
+    Smp,
+}
+
+/// Tunable parameters of a Lamellar world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of PEs ("controlled through the system's launcher" in the
+    /// paper; here through [`crate::world::launch`]).
+    pub num_pes: usize,
+    /// Lamellae backend.
+    pub backend: Backend,
+    /// Worker threads per PE (the paper's best configuration used 4
+    /// threads per PE).
+    pub threads_per_pe: usize,
+    /// Aggregation threshold in bytes: outgoing AMs destined to the same PE
+    /// are batched until their combined size reaches this, then pushed to
+    /// the wire. Paper: "the runtime performs aggregation for message sizes
+    /// smaller than 100K (this threshold is configurable; 100KB is the
+    /// default)".
+    pub agg_threshold: usize,
+    /// Size of each wire buffer in the double-buffered per-PE-pair message
+    /// queues. Must be at least `agg_threshold` plus framing slack.
+    pub buffer_size: usize,
+    /// Symmetric region bytes per PE (runtime queues + collective user
+    /// allocations such as arrays).
+    pub sym_len: usize,
+    /// One-sided dynamic heap bytes per PE.
+    pub heap_len: usize,
+}
+
+/// The paper's default aggregation threshold (100 KiB).
+pub const DEFAULT_AGG_THRESHOLD: usize = 100 * 1024;
+
+impl WorldConfig {
+    /// Defaults for `num_pes` PEs with the Rofi backend (Shmem if you want
+    /// no cost model — but the model is off by default anyway). Environment
+    /// overrides, mirroring the real runtime's env-driven builder:
+    /// `LAMELLAR_THREADS` (worker threads per PE) and
+    /// `LAMELLAR_OP_BATCH` / `LAMELLAR_AGG_THRESHOLD` (bytes).
+    pub fn new(num_pes: usize) -> Self {
+        let env = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok());
+        let threads = env("LAMELLAR_THREADS").unwrap_or(2);
+        let agg = env("LAMELLAR_AGG_THRESHOLD").unwrap_or(DEFAULT_AGG_THRESHOLD);
+        WorldConfig {
+            num_pes,
+            backend: if num_pes == 1 { Backend::Smp } else { Backend::Rofi },
+            threads_per_pe: threads,
+            agg_threshold: agg,
+            buffer_size: agg * 2,
+            sym_len: 0, // resolved by `resolve`
+            heap_len: 32 << 20,
+        }
+    }
+
+    /// Fill in derived defaults (symmetric size depends on PE count and
+    /// buffer size: the internal queue footprint "scales in size with the
+    /// number of PEs", Sec. III-A).
+    pub fn resolve(mut self) -> Self {
+        assert!(self.num_pes > 0, "world needs at least one PE");
+        if self.backend == Backend::Smp {
+            assert_eq!(self.num_pes, 1, "the SMP lamellae supports exactly one PE");
+        }
+        self.threads_per_pe = self.threads_per_pe.max(1);
+        self.buffer_size = self.buffer_size.max(self.agg_threshold + 4096).max(16 * 1024);
+        if self.sym_len == 0 {
+            let queues = crate::lamellae::queue::queue_footprint(self.num_pes, self.buffer_size);
+            // Queue footprint plus generous room for user collectives.
+            self.sym_len = queues + (64 << 20);
+        }
+        self
+    }
+
+    /// Builder-style setters.
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Set worker threads per PE.
+    pub fn threads_per_pe(mut self, t: usize) -> Self {
+        self.threads_per_pe = t;
+        self
+    }
+
+    /// Set the aggregation threshold (bytes).
+    pub fn agg_threshold(mut self, t: usize) -> Self {
+        self.agg_threshold = t;
+        self
+    }
+
+    /// Set the symmetric region size per PE (bytes).
+    pub fn sym_len(mut self, s: usize) -> Self {
+        self.sym_len = s;
+        self
+    }
+
+    /// Set the one-sided heap size per PE (bytes).
+    pub fn heap_len(mut self, s: usize) -> Self {
+        self.heap_len = s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_fills_sym_len() {
+        let cfg = WorldConfig::new(4).resolve();
+        assert!(cfg.sym_len > 0);
+        assert!(cfg.buffer_size >= cfg.agg_threshold);
+    }
+
+    #[test]
+    fn single_pe_defaults_to_smp() {
+        assert_eq!(WorldConfig::new(1).backend, Backend::Smp);
+        assert_eq!(WorldConfig::new(2).backend, Backend::Rofi);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one PE")]
+    fn smp_with_multiple_pes_rejected() {
+        let _ = WorldConfig::new(2).backend(Backend::Smp).resolve();
+    }
+}

@@ -1,0 +1,191 @@
+//! Distributed Atomic Reference Counting (paper Sec. III-E).
+//!
+//! A [`Darc<T>`] is "a distributed extension to Rust language-provided
+//! Arcs": each member PE holds its own *independent instance* of the inner
+//! object, and the group of instances "remains valid and accessible as long
+//! as any PE maintains a reference". Darcs travel inside AMs; a received
+//! Darc resolves to the *destination PE's* instance.
+//!
+//! ## Substitution note (DESIGN.md §1)
+//!
+//! The real runtime tracks lifetime with status bits in RDMA memory plus a
+//! deallocation AM. With all simulated PEs in one process, the same
+//! observable semantics are obtained with per-PE reference counters in a
+//! shared registry plus *serialization pins*: encoding a Darc into an AM
+//! parks a strong reference in the registry until the destination decodes
+//! it, so an object can never die while a reference is in flight — exactly
+//! the guarantee the paper's transfer-count tracking provides. Per-PE
+//! counts are observable through [`Darc::local_count`], and destruction is
+//! collective: the instances drop together only after every PE's count
+//! reaches zero.
+
+use crate::runtime::current_rt;
+use crate::team::LamellarTeam;
+use crate::world::WorldShared;
+use lamellar_codec::{Codec, CodecError, Reader};
+use std::any::Any;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Shared state for one Darc group: every PE's instance plus the per-PE
+/// reference counts.
+pub(crate) struct DarcState<T: Send + Sync + 'static> {
+    id: u64,
+    shared: Weak<WorldShared>,
+    /// World PE ids of the owning team, ascending.
+    team_pes: Vec<usize>,
+    /// One instance per team rank — "each PE will maintain its own
+    /// independent instance of the inner object".
+    instances: Arc<Vec<T>>,
+    /// Per-team-rank handle counts.
+    counts: Vec<AtomicUsize>,
+}
+
+impl<T: Send + Sync + 'static> Drop for DarcState<T> {
+    fn drop(&mut self) {
+        // The last strong reference anywhere (handle or pin) is gone:
+        // deregister so the id cannot resolve anymore.
+        if let Some(shared) = self.shared.upgrade() {
+            shared.unregister_trackable(self.id);
+        }
+    }
+}
+
+/// A distributed atomically reference counted pointer.
+///
+/// Dereferences to the local PE's instance. "Inner mutability of the object
+/// pointed to by the Darc is disallowed by default" — `Deref` hands out
+/// `&T`, so mutation requires `Mutex`/`RwLock`/atomics inside `T`, exactly
+/// as with `Arc`.
+pub struct Darc<T: Send + Sync + 'static> {
+    state: Arc<DarcState<T>>,
+    /// Team rank of the PE holding this handle.
+    rank: usize,
+}
+
+impl<T: Send + Sync + 'static> Darc<T> {
+    /// Collectively construct a Darc over `team`; every member passes its
+    /// own instance (the paper's `Darc::new<T>(team, item: T)`).
+    pub fn new(team: &LamellarTeam, item: T) -> Self {
+        let rt = team.rt();
+        let shared = Arc::clone(rt.shared());
+        // Gather every member's instance, ordered by team rank.
+        let instances = team.deposit_all(item);
+        // Rank 0 assembles the state and registers it; everyone receives
+        // the same Arc.
+        let team_pes = team.pes().to_vec();
+        let num = team_pes.len();
+        let state = team.exchange_object(0, move || {
+            let id = shared.new_trackable_id();
+            DarcState {
+                id,
+                shared: Arc::downgrade(&shared),
+                team_pes,
+                instances,
+                counts: (0..num).map(|_| AtomicUsize::new(1)).collect(),
+            }
+        });
+        if team.my_rank() == 0 {
+            let shared = rt.shared();
+            shared.register_trackable(
+                state.id,
+                Arc::downgrade(&state) as Weak<dyn Any + Send + Sync>,
+            );
+        }
+        // Registration must be visible before any PE can serialize the darc.
+        team.barrier();
+        Darc { state, rank: team.my_rank() }
+    }
+
+    /// The id under which this Darc is registered (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// Reference count held by team-rank `rank`'s PE (diagnostics; the
+    /// lifetime guarantee the paper describes: the object lives while any
+    /// of these is nonzero or a reference is in flight).
+    pub fn local_count(&self, rank: usize) -> usize {
+        self.state.counts[rank].load(Ordering::Acquire)
+    }
+
+    /// World PE ids of the owning team.
+    pub fn team_pes(&self) -> &[usize] {
+        &self.state.team_pes
+    }
+
+    /// The instance belonging to team rank `rank` — remote-instance access
+    /// is what AMs use when they carry a Darc to another PE.
+    pub fn instance_at(&self, rank: usize) -> &T {
+        &self.state.instances[rank]
+    }
+}
+
+impl<T: Send + Sync + 'static> Deref for Darc<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.state.instances[self.rank]
+    }
+}
+
+impl<T: Send + Sync + 'static> Clone for Darc<T> {
+    fn clone(&self) -> Self {
+        // "Reference counting occurs as normal during Clone."
+        self.state.counts[self.rank].fetch_add(1, Ordering::AcqRel);
+        Darc { state: Arc::clone(&self.state), rank: self.rank }
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for Darc<T> {
+    fn drop(&mut self) {
+        self.state.counts[self.rank].fetch_sub(1, Ordering::AcqRel);
+        // When this was the globally-last handle and no serialized
+        // reference is in flight, the enclosing Arc chain unwinds and
+        // DarcState::drop deregisters the id. No explicit protocol needed:
+        // the state Arc's strong count *is* the global agreement.
+    }
+}
+
+impl<T: Send + Sync + 'static> Codec for Darc<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        // Park a strong reference for the in-flight period ("serialization
+        // and deserialization is used to track the transfer of Darcs to
+        // remote PEs in AMs").
+        if let Some(shared) = self.state.shared.upgrade() {
+            shared
+                .pin_trackable(self.state.id, Arc::clone(&self.state) as Arc<dyn Any + Send + Sync>);
+        }
+        self.state.id.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let id = u64::decode(r)?;
+        let rt = current_rt().expect("Darc decoded outside a runtime context");
+        let shared = rt.shared();
+        let state = shared
+            .lookup_trackable(id)
+            .ok_or(CodecError::UnknownTypeHash(id))?
+            .downcast::<DarcState<T>>()
+            .map_err(|_| CodecError::UnknownTypeHash(id))?;
+        let rank = state
+            .team_pes
+            .binary_search(&rt.pe())
+            .unwrap_or_else(|_| panic!("Darc received on PE {} outside its team", rt.pe()));
+        state.counts[rank].fetch_add(1, Ordering::AcqRel);
+        // Release the in-flight pin now that a live handle exists here.
+        shared.unpin_trackable(id);
+        Ok(Darc { state, rank })
+    }
+}
+
+impl<T: Send + Sync + 'static + std::fmt::Debug> std::fmt::Debug for Darc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Darc")
+            .field("id", &self.state.id)
+            .field("rank", &self.rank)
+            .field("local", &**self)
+            .finish()
+    }
+}

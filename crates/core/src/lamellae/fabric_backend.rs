@@ -1,0 +1,141 @@
+//! The fabric-backed Lamellae: `Rofi` (with network cost model) and
+//! `Shmem` (without) share this implementation.
+//!
+//! The paper's Shmem lamellae "implements all the same internal data
+//! structures as the ROFI Lamellae. The key difference is that instead of
+//! creating RDMA Memory Regions (via libfabrics) it simply allocates shared
+//! memory segments" — in our single-process simulation the two genuinely
+//! coincide, differing only in whether transfers are charged modeled
+//! network costs. "From a user perspective switching between the ROFI
+//! Lamellae and the Shared Memory Lamellae should be transparent."
+
+use crate::config::Backend;
+use crate::lamellae::queue::QueueTransport;
+use crate::lamellae::Lamellae;
+use rofi_sim::FabricPe;
+
+/// A Lamellae over the simulated fabric.
+pub struct FabricLamellae {
+    ep: FabricPe,
+    queues: QueueTransport,
+    backend: Backend,
+}
+
+impl FabricLamellae {
+    /// Wrap a fabric endpoint. `queue_base` is the symmetric offset of the
+    /// pre-allocated queue block (see
+    /// [`queue_footprint`](crate::lamellae::queue::queue_footprint)).
+    pub fn new(
+        ep: FabricPe,
+        backend: Backend,
+        queue_base: usize,
+        buffer_size: usize,
+        agg_threshold: usize,
+    ) -> Self {
+        let queues = QueueTransport::new(ep.clone(), queue_base, buffer_size, agg_threshold);
+        FabricLamellae { ep, queues, backend }
+    }
+
+    /// The underlying fabric endpoint (used by memregions for atomics).
+    pub fn endpoint(&self) -> &FabricPe {
+        &self.ep
+    }
+}
+
+impl Lamellae for FabricLamellae {
+    fn my_pe(&self) -> usize {
+        self.ep.pe()
+    }
+
+    fn num_pes(&self) -> usize {
+        self.ep.num_pes()
+    }
+
+    fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    fn send(&self, dst: usize, framed: &[u8]) {
+        self.queues.send(dst, framed);
+    }
+
+    fn flush(&self) {
+        self.queues.flush();
+    }
+
+    fn progress(&self, sink: &mut dyn FnMut(usize, Vec<u8>)) -> bool {
+        self.ep.fabric().progress_delay(); // failure-injection hook
+        let mut any = false;
+        self.queues.progress(&mut |src, raw| {
+            for env in crate::proto::deframe(&raw) {
+                sink(src, lamellar_codec::Codec::to_bytes(&env));
+            }
+            any = true;
+        });
+        any
+    }
+
+    fn barrier_with(&self, progress: &mut dyn FnMut()) {
+        self.ep.barrier_with_progress(|| progress());
+    }
+
+    fn alloc_symmetric(&self, size: usize, align: usize) -> usize {
+        self.ep.fabric().alloc_symmetric(size, align).expect("symmetric region exhausted")
+    }
+
+    fn free_symmetric(&self, offset: usize) {
+        self.ep.fabric().free_symmetric(offset).expect("invalid symmetric free");
+    }
+
+    fn alloc_heap(&self, size: usize, align: usize) -> usize {
+        self.ep.fabric().alloc_heap(self.ep.pe(), size, align).expect("one-sided heap exhausted")
+    }
+
+    fn free_heap(&self, pe: usize, offset: usize) {
+        self.ep.fabric().free_heap(pe, offset).expect("invalid heap free");
+    }
+
+    unsafe fn put(&self, pe: usize, offset: usize, src: &[u8]) {
+        // SAFETY: contract forwarded to the caller.
+        unsafe { self.ep.put(pe, offset, src).expect("rdma put") }
+    }
+
+    unsafe fn get(&self, pe: usize, offset: usize, dst: &mut [u8]) {
+        // SAFETY: contract forwarded to the caller.
+        unsafe { self.ep.get(pe, offset, dst).expect("rdma get") }
+    }
+
+    fn base_ptr(&self, pe: usize) -> *mut u8 {
+        self.ep.fabric().arena(pe).expect("valid pe").base_ptr()
+    }
+
+    fn oob_put(&self, tag: u64, val: u64) {
+        self.ep.fabric().oob_put(tag, val);
+    }
+
+    fn oob_get(&self, tag: u64) -> u64 {
+        self.ep.fabric().oob_get(tag)
+    }
+
+    fn oob_remove(&self, tag: u64) {
+        self.ep.fabric().oob_remove(tag);
+    }
+
+    fn inject_progress_delay(&self, ns: u64) {
+        self.ep.fabric().set_progress_delay_ns(ns);
+    }
+
+    fn net_stats(&self) -> (u64, u64, u64) {
+        self.ep.fabric().stats()
+    }
+}
+
+impl std::fmt::Debug for FabricLamellae {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FabricLamellae")
+            .field("backend", &self.backend)
+            .field("pe", &self.my_pe())
+            .field("num_pes", &self.num_pes())
+            .finish()
+    }
+}

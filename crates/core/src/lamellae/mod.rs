@@ -1,0 +1,119 @@
+//! The Lamellae layer (paper Sec. III-A).
+//!
+//! "At the base of the stack is the abstraction for communicating with
+//! network interfaces, called the Lamellae Trait. ... The Lamellae Trait is
+//! the interface between the runtime and network interfaces via functions
+//! for: (de)initialization; getting PE ids and the number of PEs in the
+//! world; and (de)allocating Memory Regions. The Trait defines the functions
+//! for performing remote put/get transfers, and synchronization primitives."
+//!
+//! Three implementors mirror the paper's:
+//!
+//! | paper            | here                                   |
+//! |------------------|----------------------------------------|
+//! | `ROFI_Lamellae`  | [`FabricLamellae`] with the cost model |
+//! | `Shmem` Lamellae | [`FabricLamellae`] without the model   |
+//! | `SMP` Lamellae   | [`SmpLamellae`] (1 PE, loopback)       |
+//!
+//! The Shmem lamellae deliberately "implements all the same internal data
+//! structures as the ROFI Lamellae" — in this reproduction they literally
+//! share the implementation, differing only in whether transfers are charged
+//! network costs.
+
+pub mod fabric_backend;
+pub mod queue;
+pub mod smp;
+
+pub use fabric_backend::FabricLamellae;
+pub use smp::SmpLamellae;
+
+use crate::config::Backend;
+
+/// The interface between the runtime and a network backend.
+///
+/// All message-queue operations deal in *framed envelope bytes* (see
+/// [`crate::proto`]); the Lamellae neither parses nor interprets them —
+/// "treating messages as a sequence of bytes, without interpreting their
+/// content" (Sec. III-A.1).
+pub trait Lamellae: Send + Sync + 'static {
+    /// This PE's id.
+    fn my_pe(&self) -> usize;
+
+    /// Number of PEs in the world.
+    fn num_pes(&self) -> usize;
+
+    /// Which backend this is.
+    fn backend(&self) -> Backend;
+
+    /// Enqueue one framed message for `dst`, aggregating with other
+    /// messages headed there until the aggregation threshold is reached.
+    fn send(&self, dst: usize, framed: &[u8]);
+
+    /// Push every partially-filled aggregation buffer to the wire.
+    fn flush(&self);
+
+    /// Drain incoming messages, handing each `(src, envelope bytes)` to
+    /// `sink`. Returns true if any message was delivered. Reentrant calls
+    /// are no-ops (one ticker at a time), so the progress thread, barrier
+    /// waiters, and `block_on` helpers can all pump without coordination.
+    fn progress(&self, sink: &mut dyn FnMut(usize, Vec<u8>)) -> bool;
+
+    /// Collective barrier over the world, servicing `progress` while
+    /// waiting (a blocked PE must keep executing AMs sent to it).
+    fn barrier_with(&self, progress: &mut dyn FnMut());
+
+    /// Allocate `size` bytes in the symmetric region. The returned offset
+    /// is valid on every PE. Callers coordinate collectively (root
+    /// allocates, broadcasts via [`Lamellae::oob_put`]).
+    fn alloc_symmetric(&self, size: usize, align: usize) -> usize;
+
+    /// Release a symmetric allocation (exactly once per allocation,
+    /// coordinated by the Darc destruction protocol).
+    fn free_symmetric(&self, offset: usize);
+
+    /// Allocate `size` bytes from this PE's one-sided dynamic heap.
+    fn alloc_heap(&self, size: usize, align: usize) -> usize;
+
+    /// Release a one-sided heap allocation on `pe`.
+    fn free_heap(&self, pe: usize, offset: usize);
+
+    /// One-sided RDMA write of `src` into `pe`'s memory at `offset`.
+    ///
+    /// # Safety
+    /// No PE may concurrently access the destination range; the range must
+    /// be a live allocation.
+    unsafe fn put(&self, pe: usize, offset: usize, src: &[u8]);
+
+    /// One-sided RDMA read from `pe`'s memory at `offset`.
+    ///
+    /// # Safety
+    /// No PE may concurrently write the source range; the range must be a
+    /// live allocation.
+    unsafe fn get(&self, pe: usize, offset: usize, dst: &mut [u8]);
+
+    /// Base pointer of `pe`'s memory region (for constructing local slices
+    /// in the array layer; only the local PE's pointer may be dereferenced
+    /// safely by higher layers).
+    fn base_ptr(&self, pe: usize) -> *mut u8;
+
+    /// Out-of-band bootstrap exchange (collective-allocation broadcasts).
+    fn oob_put(&self, tag: u64, val: u64);
+
+    /// Blocking out-of-band read.
+    fn oob_get(&self, tag: u64) -> u64;
+
+    /// Remove an out-of-band value.
+    fn oob_remove(&self, tag: u64);
+
+    /// Failure injection (tests): stall every progress tick by `ns`
+    /// nanoseconds. Default no-op for backends without the hook.
+    fn inject_progress_delay(&self, _ns: u64) {}
+
+    /// Cumulative fabric traffic as `(puts, gets, bytes_moved)` — includes
+    /// every PE's transfers (the counters are fabric-global). Used by the
+    /// aggregation ablation to show message counts falling as the
+    /// threshold rises.
+    fn net_stats(&self) -> (u64, u64, u64) {
+        (0, 0, 0)
+    }
+}

@@ -1,0 +1,449 @@
+//! Flag-based, double-buffered message queues over the fabric.
+//!
+//! This is the transfer mechanism of Sec. III-A.1:
+//!
+//! > "the Lamellae implements a 'flag' based transfer mechanism. Each PE is
+//! > able to signal every other PE to let them know when data is to be read.
+//! > Upon receiving this signal the Remote PE is then responsible for
+//! > getting the data, once local buffers become available. The remote PE
+//! > then signals the original PE to let it know it is now free to release
+//! > any resources associated with the transferred data. Lamellar employs a
+//! > double buffering message queue..."
+//!
+//! ## Memory layout
+//!
+//! Each PE's symmetric region hosts, at the same base offset everywhere:
+//!
+//! ```text
+//! recv_signals : num_pes × NBUF u64   — written by remote *senders*:
+//!                nonzero = "my buffer #idx for you holds `len` bytes"
+//! send_busy    : num_pes × NBUF u64   — owned by the local sender, cleared
+//!                remotely by the consumer: 0 = buffer free, 1 = in flight
+//! send_bufs    : num_pes × NBUF × buffer_size bytes — outgoing wire data
+//! ```
+//!
+//! Sender protocol (PE `s` → PE `d`, buffer `i`):
+//! 1. claim `send_busy[d][i]` on `s` (CAS 0→1);
+//! 2. write the aggregated bytes into `send_bufs[d][i]` on `s` (local);
+//! 3. release-store `len` into `recv_signals[s][i]` on `d` (the *flag*).
+//!
+//! Receiver protocol (PE `d` polling):
+//! 1. acquire-load `recv_signals[s][i]`; if nonzero, RDMA-get `len` bytes
+//!    from `send_bufs[d][i]` on `s`;
+//! 2. clear the signal;
+//! 3. release-store 0 into `send_busy[d][i]` on `s` ("free to release").
+//!
+//! The release/acquire pairing on the flag orders the plain-data buffer
+//! writes before the reads — the classic message-passing pattern.
+//!
+//! ## Non-blocking sends
+//!
+//! **No call here ever blocks on the wire.** When both buffers toward a
+//! destination are in flight, ready chunks park in a local queue and are
+//! retried on the next `send`/`flush`/`progress` call. Blocking instead
+//! would deadlock two peers whose progress engines are each stuck flushing
+//! toward the other; with parking, every `progress` tick both drains
+//! incoming traffic (freeing the peer's buffers) and retries parked chunks.
+
+use parking_lot::Mutex;
+use rofi_sim::FabricPe;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+
+/// Buffers per destination (double buffering, per the paper).
+pub const NBUF: usize = 2;
+
+/// Bytes of symmetric region consumed by the queue block for a world of
+/// `num_pes` with the given per-buffer size.
+pub fn queue_footprint(num_pes: usize, buffer_size: usize) -> usize {
+    // Two tables of num_pes × NBUF u64s, plus the buffers, plus alignment.
+    2 * num_pes * NBUF * 8 + num_pes * NBUF * buffer_size + 64
+}
+
+/// Outgoing state for one destination: whole frames waiting to be packed,
+/// plus at most one assembled chunk waiting for a free wire buffer.
+#[derive(Default)]
+struct OutQueue {
+    /// Framed messages in FIFO order.
+    frames: VecDeque<Vec<u8>>,
+    /// Total bytes across `frames`.
+    bytes: usize,
+    /// An assembled chunk that found no free wire buffer yet.
+    ready: Option<Vec<u8>>,
+}
+
+/// One PE's endpoint of the world-wide queue fabric.
+pub struct QueueTransport {
+    ep: FabricPe,
+    /// Base offset of the queue block (identical on every PE).
+    base: usize,
+    num_pes: usize,
+    buffer_size: usize,
+    /// Aggregation threshold: assemble a wire chunk once this many bytes
+    /// are waiting for a destination.
+    agg_threshold: usize,
+    /// Per-destination aggregation queues.
+    out: Vec<Mutex<OutQueue>>,
+    /// Serializes progress ticks (one ticker at a time).
+    progress_lock: Mutex<()>,
+}
+
+impl QueueTransport {
+    /// Build the endpoint. `base` must point at a symmetric allocation of at
+    /// least [`queue_footprint`] bytes, 8-aligned, zero-initialized
+    /// (arenas start zeroed; `send_busy == 0` means free).
+    pub fn new(ep: FabricPe, base: usize, buffer_size: usize, agg_threshold: usize) -> Self {
+        assert_eq!(base % 8, 0, "queue base must be 8-aligned");
+        assert!(agg_threshold <= buffer_size, "threshold must fit in a buffer");
+        let num_pes = ep.num_pes();
+        let out = (0..num_pes).map(|_| Mutex::new(OutQueue::default())).collect();
+        QueueTransport {
+            ep,
+            base,
+            num_pes,
+            buffer_size,
+            agg_threshold,
+            out,
+            progress_lock: Mutex::new(()),
+        }
+    }
+
+    /// Largest single framed message the wire can carry.
+    pub fn max_message(&self) -> usize {
+        self.buffer_size
+    }
+
+    fn recv_sig_off(&self, src: usize, idx: usize) -> usize {
+        self.base + (src * NBUF + idx) * 8
+    }
+
+    fn send_busy_off(&self, dst: usize, idx: usize) -> usize {
+        self.base + self.num_pes * NBUF * 8 + (dst * NBUF + idx) * 8
+    }
+
+    fn send_buf_off(&self, dst: usize, idx: usize) -> usize {
+        self.base + 2 * self.num_pes * NBUF * 8 + (dst * NBUF + idx) * self.buffer_size
+    }
+
+    /// Enqueue one framed message for `dst`; wire chunks are emitted once
+    /// the aggregation threshold accumulates (never blocks).
+    pub fn send(&self, dst: usize, framed: &[u8]) {
+        assert!(
+            framed.len() <= self.buffer_size,
+            "message of {} bytes exceeds wire buffer of {} (large payloads take the heap path)",
+            framed.len(),
+            self.buffer_size
+        );
+        let mut q = self.out[dst].lock();
+        q.frames.push_back(framed.to_vec());
+        q.bytes += framed.len();
+        self.pump(dst, &mut q, false);
+    }
+
+    /// Push every waiting byte toward the wire (best effort — chunks that
+    /// find no free buffer stay parked for the next call).
+    pub fn flush(&self) {
+        for dst in 0..self.num_pes {
+            let mut q = self.out[dst].lock();
+            self.pump(dst, &mut q, true);
+        }
+    }
+
+    /// True when every frame and chunk for every destination has hit the
+    /// wire (used by tests; the runtime just keeps flushing).
+    pub fn outgoing_empty(&self) -> bool {
+        self.out.iter().all(|q| {
+            let q = q.lock();
+            q.frames.is_empty() && q.ready.is_none()
+        })
+    }
+
+    /// Assemble-and-emit loop for one destination. With `want_all`, emits
+    /// partial chunks too (flush semantics); otherwise only once the
+    /// threshold accumulates.
+    fn pump(&self, dst: usize, q: &mut OutQueue, want_all: bool) {
+        loop {
+            // Retry the parked chunk first (FIFO order).
+            if let Some(chunk) = q.ready.take() {
+                if !self.try_push_to_wire(dst, &chunk) {
+                    q.ready = Some(chunk);
+                    return;
+                }
+            }
+            let target = if want_all { 1 } else { self.agg_threshold };
+            if q.bytes < target {
+                return;
+            }
+            // Assemble the next chunk out of whole frames.
+            let mut chunk = Vec::with_capacity(q.bytes.min(self.buffer_size));
+            while let Some(front) = q.frames.front() {
+                if chunk.len() + front.len() > self.buffer_size {
+                    break;
+                }
+                let f = q.frames.pop_front().expect("front exists");
+                q.bytes -= f.len();
+                chunk.extend_from_slice(&f);
+            }
+            debug_assert!(!chunk.is_empty(), "a single frame always fits");
+            q.ready = Some(chunk);
+        }
+    }
+
+    /// One attempt to claim a free wire buffer for `dst` and transmit;
+    /// false when both buffers are still in flight.
+    pub fn try_send_now(&self, dst: usize, bytes: &[u8]) -> bool {
+        assert!(bytes.len() <= self.buffer_size, "message exceeds wire buffer");
+        self.try_push_to_wire(dst, bytes)
+    }
+
+    fn try_push_to_wire(&self, dst: usize, bytes: &[u8]) -> bool {
+        debug_assert!(!bytes.is_empty());
+        let me = self.ep.pe();
+        for idx in 0..NBUF {
+            let busy = self
+                .ep
+                .atomic_u64(me, self.send_busy_off(dst, idx))
+                .expect("send_busy in bounds");
+            if busy.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed).is_ok() {
+                // SAFETY: we own this buffer (busy flag) until the
+                // receiver clears it; offsets are within the queue block.
+                unsafe {
+                    self.ep
+                        .put(me, self.send_buf_off(dst, idx), bytes)
+                        .expect("send buffer write");
+                }
+                // Model the tiny signalling RDMA write.
+                if dst != me {
+                    self.ep.fabric().model().charge(8);
+                }
+                self.ep
+                    .atomic_u64(dst, self.recv_sig_off(me, idx))
+                    .expect("recv_signal in bounds")
+                    .store(bytes.len() as u64, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drain incoming wire buffers; `sink` receives `(src, raw buffer)`
+    /// (the caller deframes). Returns true if anything arrived. One ticker
+    /// runs at a time; concurrent callers return false immediately. Also
+    /// retries parked outgoing chunks, so traffic keeps moving as long as
+    /// anyone pumps progress.
+    pub fn progress(&self, sink: &mut dyn FnMut(usize, Vec<u8>)) -> bool {
+        let Some(_guard) = self.progress_lock.try_lock() else {
+            return false;
+        };
+        let me = self.ep.pe();
+        let mut any = false;
+        for src in 0..self.num_pes {
+            for idx in 0..NBUF {
+                let sig =
+                    self.ep.atomic_u64(me, self.recv_sig_off(src, idx)).expect("sig in bounds");
+                let len = sig.load(Ordering::Acquire) as usize;
+                if len == 0 {
+                    continue;
+                }
+                let mut data = vec![0u8; len];
+                // SAFETY: the sender wrote the buffer before the release
+                // store of the flag and will not touch it until we clear
+                // send_busy below.
+                unsafe {
+                    self.ep
+                        .get(src, self.send_buf_off(me, idx), &mut data)
+                        .expect("wire buffer read");
+                }
+                sig.store(0, Ordering::Release);
+                // "signals the original PE ... it is now free to release".
+                self.ep
+                    .atomic_u64(src, self.send_busy_off(me, idx))
+                    .expect("busy in bounds")
+                    .store(0, Ordering::Release);
+                sink(src, data);
+                any = true;
+            }
+        }
+        // Freed buffers on our peers may unblock parked chunks of ours.
+        for dst in 0..self.num_pes {
+            if let Some(mut q) = self.out[dst].try_lock() {
+                if q.ready.is_some() {
+                    self.pump(dst, &mut q, false);
+                }
+            }
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rofi_sim::fabric::{Fabric, FabricConfig};
+    use rofi_sim::NetConfig;
+    use std::sync::Arc;
+
+    fn make_world(n: usize, buf: usize, thresh: usize) -> Vec<Arc<QueueTransport>> {
+        let foot = queue_footprint(n, buf);
+        let pes = Fabric::new(FabricConfig {
+            num_pes: n,
+            sym_len: foot + 4096,
+            heap_len: 4096,
+            net: NetConfig::disabled(),
+        });
+        let base = pes[0].fabric().alloc_symmetric(foot, 8).unwrap();
+        pes.into_iter()
+            .map(|ep| Arc::new(QueueTransport::new(ep, base, buf, thresh)))
+            .collect()
+    }
+
+    #[test]
+    fn small_sends_aggregate_until_threshold() {
+        let qs = make_world(2, 4096, 100);
+        // 40 bytes: below the 100-byte threshold — nothing on the wire yet.
+        qs[0].send(1, &[1u8; 40]);
+        let mut got = Vec::new();
+        assert!(!qs[1].progress(&mut |src, data| got.push((src, data))));
+        // Crossing the threshold emits one aggregated chunk.
+        qs[0].send(1, &[2u8; 70]);
+        assert!(qs[1].progress(&mut |src, data| got.push((src, data))));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 0);
+        assert_eq!(got[0].1.len(), 110);
+        assert_eq!(&got[0].1[..40], &[1u8; 40][..]);
+        assert_eq!(&got[0].1[40..], &[2u8; 70][..]);
+    }
+
+    #[test]
+    fn flush_pushes_partial_buffers() {
+        let qs = make_world(2, 4096, 1000);
+        qs[0].send(1, &[7u8; 10]);
+        qs[0].flush();
+        let mut got = Vec::new();
+        assert!(qs[1].progress(&mut |_, data| got.push(data)));
+        assert_eq!(got, vec![vec![7u8; 10]]);
+        assert!(qs[0].outgoing_empty());
+    }
+
+    #[test]
+    fn backpressure_parks_and_later_flush_delivers() {
+        let qs = make_world(2, 256, 64);
+        // Three chunk-sized sends: two claim the wire buffers, the third
+        // parks (send never blocks).
+        qs[0].send(1, &[1u8; 64]);
+        qs[0].send(1, &[2u8; 64]);
+        qs[0].send(1, &[3u8; 64]);
+        assert!(!qs[0].outgoing_empty(), "third chunk parks while wire is full");
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            qs[1].progress(&mut |_, data| got.push(data));
+            qs[0].flush(); // retries the parked chunk
+        }
+        let mut firsts: Vec<u8> = got.iter().map(|d| d[0]).collect();
+        firsts.sort_unstable();
+        assert_eq!(firsts, vec![1, 2, 3]);
+        assert!(qs[0].outgoing_empty());
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let qs = make_world(2, 4096, 1);
+        for i in 0..20u8 {
+            qs[0].send(1, &[i; 8]);
+            qs[1].send(0, &[i + 100; 8]);
+            let mut got1 = Vec::new();
+            while !qs[1].progress(&mut |_, d| got1.push(d)) {
+                qs[0].flush();
+            }
+            let mut got0 = Vec::new();
+            while !qs[0].progress(&mut |_, d| got0.push(d)) {
+                qs[1].flush();
+            }
+            assert_eq!(got1[0][0], i);
+            assert_eq!(got0[0][0], i + 100);
+        }
+    }
+
+    #[test]
+    fn many_pes_all_to_all() {
+        let n = 4;
+        let qs = make_world(n, 4096, 1);
+        for (src, q) in qs.iter().enumerate() {
+            for dst in 0..n {
+                if dst != src {
+                    q.send(dst, &[src as u8 + 1; 16]);
+                }
+            }
+        }
+        for (me, q) in qs.iter().enumerate() {
+            let mut seen = Vec::new();
+            while seen.len() < n - 1 {
+                q.progress(&mut |src, d| {
+                    assert_eq!(d[0] as usize, src + 1);
+                    seen.push(src);
+                });
+                for other in qs.iter() {
+                    other.flush();
+                }
+            }
+            seen.sort_unstable();
+            let expect: Vec<usize> = (0..n).filter(|&p| p != me).collect();
+            assert_eq!(seen, expect);
+        }
+    }
+
+    #[test]
+    fn chunks_split_at_frame_boundaries() {
+        // Two 150-byte frames with a 256-byte wire buffer: they cannot ride
+        // one chunk, so they arrive as two chunks with intact frames.
+        let qs = make_world(2, 256, 200);
+        qs[0].send(1, &[1u8; 150]);
+        qs[0].send(1, &[2u8; 150]);
+        qs[0].flush();
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            qs[1].progress(&mut |_, d| got.push(d));
+            qs[0].flush();
+        }
+        assert_eq!(got[0], vec![1u8; 150]);
+        assert_eq!(got[1], vec![2u8; 150]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds wire buffer")]
+    fn oversized_single_message_rejected() {
+        let qs = make_world(2, 128, 64);
+        qs[0].send(1, &[0u8; 256]);
+    }
+
+    /// The deadlock regression: both PEs saturate the wire toward each
+    /// other and only ever pump progress (as the runtime's progress thread
+    /// does). Everything must still arrive.
+    #[test]
+    fn mutual_saturation_never_deadlocks() {
+        let qs = make_world(2, 128, 64);
+        let a = Arc::clone(&qs[0]);
+        let b = Arc::clone(&qs[1]);
+        let run = |q: Arc<QueueTransport>, me: usize| {
+            std::thread::spawn(move || {
+                let peer = 1 - me;
+                let mut received = 0usize;
+                for i in 0..200u8 {
+                    q.send(peer, &[i; 64]);
+                    q.progress(&mut |_, d| received += d.len() / 64);
+                    q.flush();
+                }
+                while received < 200 || !q.outgoing_empty() {
+                    q.progress(&mut |_, d| received += d.len() / 64);
+                    q.flush();
+                    std::thread::yield_now();
+                }
+                received
+            })
+        };
+        let t0 = run(a, 0);
+        let t1 = run(b, 1);
+        assert_eq!(t0.join().unwrap(), 200);
+        assert_eq!(t1.join().unwrap(), 200);
+    }
+}

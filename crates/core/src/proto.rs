@@ -1,0 +1,123 @@
+//! Wire protocol: the envelopes that travel between PEs.
+//!
+//! Every runtime message is one [`Envelope`], framed with a varint length so
+//! that many envelopes can be packed back-to-back into an aggregation buffer
+//! (paper Sec. III-A: "Lamellar employs a double buffering message queue to
+//! ... allow for more efficient use of network resources by transferring
+//! larger messages").
+
+use lamellar_codec::{impl_codec_enum, varint, Codec, Reader};
+
+/// One runtime-level message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// Execute a registered AM and send back its output.
+    ///
+    /// `am_id` keys the runtime lookup table (Sec. III-C); `req_id`
+    /// correlates the eventual [`Envelope::Reply`] with the caller's
+    /// pending-request table; `src_pe` is where the reply goes.
+    Request(u64, u64, u64, Vec<u8>),
+    /// The encoded `Output` of a completed AM.
+    Reply(u64, Vec<u8>),
+    /// A request whose payload was too large for the message queue and was
+    /// parked in the sender's one-sided heap instead: fields are
+    /// `(am_id, req_id, src_pe, heap_offset, len)`. The receiver RDMA-gets
+    /// the payload, then sends [`Envelope::FreeHeap`] so the sender can
+    /// release the staging buffer — the "flag ... lets it know it is now
+    /// free to release any resources associated with the transferred data"
+    /// handshake of Sec. III-A.
+    LargeRequest(u64, u64, u64, u64, u64),
+    /// Release a staged large-payload buffer at the given heap offset.
+    FreeHeap(u64),
+    /// The AM panicked on the destination PE; carries the panic message so
+    /// the caller's await can re-panic with a useful diagnostic instead of
+    /// hanging on a reply that will never come.
+    ReplyErr(u64, String),
+}
+
+impl_codec_enum!(Envelope {
+    Request(am_id, req_id, src_pe, payload),
+    Reply(req_id, payload),
+    LargeRequest(am_id, req_id, src_pe, heap_offset, len),
+    FreeHeap(offset),
+    ReplyErr(req_id, msg),
+});
+
+/// Append `envelope` to `buf` with a varint length prefix.
+pub fn frame(envelope: &Envelope, buf: &mut Vec<u8>) {
+    let body = envelope.to_bytes();
+    varint::write_len(buf, body.len());
+    buf.extend_from_slice(&body);
+}
+
+/// Serialized size of a framed envelope (used against the aggregation
+/// threshold before paying for the real encode).
+pub fn framed_len(envelope: &Envelope) -> usize {
+    // Encode is cheap relative to transfer; measure exactly.
+    let body = envelope.to_bytes();
+    let mut prefix = Vec::with_capacity(varint::MAX_VARINT_LEN);
+    varint::write_len(&mut prefix, body.len());
+    prefix.len() + body.len()
+}
+
+/// Iterate the envelopes packed into one wire buffer.
+pub fn deframe(mut bytes: &[u8]) -> impl Iterator<Item = Envelope> + '_ {
+    std::iter::from_fn(move || {
+        if bytes.is_empty() {
+            return None;
+        }
+        let mut r = Reader::new(bytes);
+        let len = varint::read_len(&mut r, varint::DEFAULT_MAX_LEN).expect("corrupt frame header");
+        let start = r.position();
+        let body = &bytes[start..start + len];
+        bytes = &bytes[start + len..];
+        Some(Envelope::from_bytes(body).expect("corrupt envelope"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrip() {
+        let envs = vec![
+            Envelope::Request(1, 2, 3, vec![9, 9, 9]),
+            Envelope::Reply(2, vec![]),
+            Envelope::LargeRequest(4, 5, 6, 7, 8),
+            Envelope::FreeHeap(1024),
+            Envelope::ReplyErr(9, "remote AM panicked".to_string()),
+        ];
+        for e in &envs {
+            assert_eq!(Envelope::from_bytes(&e.to_bytes()).unwrap(), *e);
+        }
+    }
+
+    #[test]
+    fn frame_deframe_many() {
+        let envs = vec![
+            Envelope::Request(1, 1, 0, vec![1; 100]),
+            Envelope::Reply(1, vec![2; 3]),
+            Envelope::FreeHeap(0),
+        ];
+        let mut buf = Vec::new();
+        for e in &envs {
+            frame(e, &mut buf);
+        }
+        let out: Vec<_> = deframe(&buf).collect();
+        assert_eq!(out, envs);
+    }
+
+    #[test]
+    fn framed_len_is_exact() {
+        let e = Envelope::Request(7, 8, 9, vec![0; 321]);
+        let mut buf = Vec::new();
+        frame(&e, &mut buf);
+        assert_eq!(buf.len(), framed_len(&e));
+    }
+
+    #[test]
+    fn empty_buffer_deframes_to_nothing() {
+        assert_eq!(deframe(&[]).count(), 0);
+    }
+}

@@ -1,0 +1,428 @@
+//! Per-PE runtime state: request tracking, dispatch, progress engine.
+//!
+//! One [`RuntimeInner`] exists per PE. It owns the PE's thread pool and
+//! Lamellae, tracks in-flight requests for `wait_all`, and dispatches
+//! incoming envelopes:
+//!
+//! * `Request` → look up the AM in the registry, deserialize, spawn its
+//!   `exec` future on the thread pool, and send the encoded output back as
+//!   a `Reply` (paper Sec. III-C: "the communication task will create an
+//!   asynchronous task to deserialize, execute and return results").
+//! * `Reply` → complete the caller's pending-request entry, decoding the
+//!   payload into the typed [`crate::am::AmHandle`].
+//! * `LargeRequest`/`FreeHeap` → the big-payload staging handshake.
+//!
+//! A dedicated progress thread per PE polls the Lamellae and flushes
+//! aggregation buffers when the wire goes idle. Barriers and `wait_all`
+//! also pump progress, so a PE blocked in a collective keeps executing AMs
+//! sent to it.
+
+use crate::am::{am_id, lookup_am, register_am, AmHandle, LamellarAm, MultiAmHandle};
+use crate::lamellae::Lamellae;
+use crate::proto::{frame, Envelope};
+use crate::world::WorldShared;
+use lamellar_codec::Codec;
+use lamellar_executor::{oneshot, JoinHandle, ThreadPool};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::future::Future;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Completion callback for one pending request: decodes the reply payload
+/// (or carries the destination's panic message) and resolves the typed
+/// handle.
+type PendingReply = Box<dyn FnOnce(Result<Vec<u8>, String>) + Send>;
+
+/// Adapter that converts a panicking future into `Err(panic message)`, so
+/// a crashed AM produces an error reply instead of stranding its caller.
+struct CatchPanic<F>(F);
+
+impl<F: Future> Future for CatchPanic<F> {
+    type Output = Result<F::Output, String>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        // SAFETY: structural pinning of the sole field.
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut s.0) };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(std::task::Poll::Ready(v)) => std::task::Poll::Ready(Ok(v)),
+            Ok(std::task::Poll::Pending) => std::task::Poll::Pending,
+            Err(payload) => std::task::Poll::Ready(Err(panic_message(&*payload))),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Per-PE runtime state.
+pub struct RuntimeInner {
+    pe: usize,
+    num_pes: usize,
+    lamellae: Arc<dyn Lamellae>,
+    pool: ThreadPool,
+    shared: Arc<WorldShared>,
+    pending: Mutex<HashMap<u64, PendingReply>>,
+    next_req: AtomicU64,
+    /// AMs this PE has launched that have not yet completed (drives
+    /// `wait_all`, which "blocks the calling PE until all of the AMs it
+    /// launched have completed").
+    my_pending: AtomicUsize,
+    /// Signals the progress thread to exit.
+    pub(crate) shutdown: AtomicBool,
+    /// Payload size above which requests take the heap-staging path.
+    large_threshold: usize,
+}
+
+thread_local! {
+    static CURRENT_RT: RefCell<Vec<Arc<RuntimeInner>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with `rt` installed as the thread's current runtime — the decode
+/// context Darcs and memory regions need to resolve their registry entries.
+pub(crate) fn with_rt_context<R>(rt: &Arc<RuntimeInner>, f: impl FnOnce() -> R) -> R {
+    CURRENT_RT.with(|c| c.borrow_mut().push(Arc::clone(rt)));
+    // Pop even on panic so a panicking AM doesn't poison the stack.
+    struct PopGuard;
+    impl Drop for PopGuard {
+        fn drop(&mut self) {
+            CURRENT_RT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+    let _guard = PopGuard;
+    f()
+}
+
+/// The runtime a (de)serialization is currently executing under, if any.
+pub(crate) fn current_rt() -> Option<Arc<RuntimeInner>> {
+    CURRENT_RT.with(|c| c.borrow().last().cloned())
+}
+
+impl RuntimeInner {
+    pub(crate) fn new(
+        lamellae: Arc<dyn Lamellae>,
+        pool: ThreadPool,
+        shared: Arc<WorldShared>,
+        large_threshold: usize,
+    ) -> Arc<Self> {
+        Arc::new(RuntimeInner {
+            pe: lamellae.my_pe(),
+            num_pes: lamellae.num_pes(),
+            lamellae,
+            pool,
+            shared,
+            pending: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(1),
+            my_pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            large_threshold,
+        })
+    }
+
+    /// This PE's id.
+    pub fn pe(&self) -> usize {
+        self.pe
+    }
+
+    /// World size.
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// The Lamellae backing this PE.
+    pub fn lamellae(&self) -> &Arc<dyn Lamellae> {
+        &self.lamellae
+    }
+
+    /// The PE's thread pool.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Cross-PE shared world state.
+    pub(crate) fn shared(&self) -> &Arc<WorldShared> {
+        &self.shared
+    }
+
+    /// Launch `am` on `dst`, returning a typed handle to its output.
+    pub fn exec_am_pe<T: LamellarAm>(self: &Arc<Self>, dst: usize, am: T) -> AmHandle<T::Output> {
+        assert!(dst < self.num_pes, "PE {dst} out of range (world has {})", self.num_pes);
+        register_am::<T>();
+        self.my_pending.fetch_add(1, Ordering::AcqRel);
+        let (tx, rx) = oneshot::<Result<T::Output, String>>();
+        if dst == self.pe {
+            // Local fast path: no serialization (as in the paper — local AMs
+            // are placed directly into the thread pool).
+            let ctx = AmContext { rt: Arc::clone(self), src_pe: self.pe };
+            let rt = Arc::clone(self);
+            drop(self.pool.spawn(async move {
+                let out = CatchPanic(am.exec(ctx)).await;
+                tx.send(out);
+                rt.my_pending.fetch_sub(1, Ordering::AcqRel);
+            }));
+        } else {
+            let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+            let rt = Arc::clone(self);
+            self.pending.insert_reply(
+                req_id,
+                Box::new(move |result| {
+                    let out = result.map(|bytes| {
+                        with_rt_context(&rt, || {
+                            T::Output::from_bytes(&bytes).expect("AM reply decode")
+                        })
+                    });
+                    tx.send(out);
+                    rt.my_pending.fetch_sub(1, Ordering::AcqRel);
+                }),
+            );
+            let payload = with_rt_context(self, || am.to_bytes());
+            let env = if payload.len() > self.large_threshold {
+                // Stage the payload in the one-sided heap; the receiver
+                // RDMA-gets it and sends FreeHeap back.
+                let off = self.lamellae.alloc_heap(payload.len(), 8);
+                // SAFETY: freshly allocated, private until the receiver is
+                // told about it, freed only on FreeHeap.
+                unsafe { self.lamellae.put(self.pe, off, &payload) };
+                Envelope::LargeRequest(
+                    am_id::<T>(),
+                    req_id,
+                    self.pe as u64,
+                    off as u64,
+                    payload.len() as u64,
+                )
+            } else {
+                Envelope::Request(am_id::<T>(), req_id, self.pe as u64, payload)
+            };
+            let mut buf = Vec::new();
+            frame(&env, &mut buf);
+            self.lamellae.send(dst, &buf);
+        }
+        AmHandle { rx }
+    }
+
+    /// Launch `am` on every PE in the world (including this one).
+    pub fn exec_am_all<T: LamellarAm + Clone>(self: &Arc<Self>, am: T) -> MultiAmHandle<T::Output> {
+        let handles = (0..self.num_pes)
+            .map(|dst| Some(self.exec_am_pe(dst, am.clone())))
+            .collect::<Vec<_>>();
+        let results = (0..self.num_pes).map(|_| None).collect();
+        MultiAmHandle { handles, results }
+    }
+
+    /// Spawn a plain user future on the PE's thread pool; tracked by
+    /// `wait_all` like an AM.
+    pub fn spawn<F>(self: &Arc<Self>, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.my_pending.fetch_add(1, Ordering::AcqRel);
+        let rt = Arc::clone(self);
+        self.pool.spawn(async move {
+            let out = fut.await;
+            rt.my_pending.fetch_sub(1, Ordering::AcqRel);
+            out
+        })
+    }
+
+    /// Drive a future to completion on the calling thread, helping the
+    /// thread pool while blocked. Only blocks this PE.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        self.pool.block_on(fut)
+    }
+
+    /// Block until every AM and task launched by this PE has completed.
+    pub fn wait_all(self: &Arc<Self>) {
+        loop {
+            self.lamellae.flush();
+            if self.my_pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if !self.tick() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Global synchronization across all PEs. Keeps servicing progress (and
+    /// therefore incoming AMs) while waiting.
+    pub fn barrier(self: &Arc<Self>) {
+        self.lamellae.flush();
+        let rt = Arc::clone(self);
+        self.lamellae.barrier_with(&mut || {
+            rt.tick();
+        });
+    }
+
+    /// One progress tick: drain incoming envelopes. Returns true if any
+    /// message was handled.
+    pub(crate) fn tick(self: &Arc<Self>) -> bool {
+        let rt = Arc::clone(self);
+        self.lamellae.progress(&mut |src, env_bytes| {
+            let env = Envelope::from_bytes(&env_bytes).expect("envelope decode");
+            rt.handle(src, env);
+        })
+    }
+
+    /// Dispatch one incoming envelope.
+    fn handle(self: &Arc<Self>, _wire_src: usize, env: Envelope) {
+        match env {
+            Envelope::Request(am_id, req_id, src_pe, payload) => {
+                self.dispatch_request(am_id, req_id, src_pe as usize, payload);
+            }
+            Envelope::LargeRequest(am_id, req_id, src_pe, off, len) => {
+                let src_pe = src_pe as usize;
+                let mut payload = vec![0u8; len as usize];
+                // SAFETY: the sender staged [off, off+len) for us and will
+                // not touch it until our FreeHeap arrives.
+                unsafe { self.lamellae.get(src_pe, off as usize, &mut payload) };
+                let mut buf = Vec::new();
+                frame(&Envelope::FreeHeap(off), &mut buf);
+                self.lamellae.send(src_pe, &buf);
+                self.dispatch_request(am_id, req_id, src_pe, payload);
+            }
+            Envelope::Reply(req_id, payload) => {
+                let cb = self
+                    .pending
+                    .lock()
+                    .remove(&req_id)
+                    .expect("reply for unknown request (duplicate or corrupt req_id)");
+                cb(Ok(payload));
+            }
+            Envelope::ReplyErr(req_id, msg) => {
+                let cb = self
+                    .pending
+                    .lock()
+                    .remove(&req_id)
+                    .expect("error reply for unknown request");
+                cb(Err(msg));
+            }
+            Envelope::FreeHeap(off) => {
+                self.lamellae.free_heap(self.pe, off as usize);
+            }
+        }
+    }
+
+    fn dispatch_request(self: &Arc<Self>, am_id: u64, req_id: u64, src_pe: usize, payload: Vec<u8>) {
+        let vtable = lookup_am(am_id).unwrap_or_else(|| {
+            panic!("incoming AM with unregistered id {am_id:#x} — register_am on every PE")
+        });
+        let ctx = AmContext { rt: Arc::clone(self), src_pe };
+        // Deserialization runs under this runtime's context so Darcs inside
+        // the payload can resolve.
+        let fut = with_rt_context(self, || (vtable.exec)(&payload, ctx))
+            .unwrap_or_else(|e| panic!("AM payload decode failed for {}: {e}", vtable.name));
+        let rt = Arc::clone(self);
+        drop(self.pool.spawn(async move {
+            let env = match CatchPanic(fut).await {
+                Ok(out_bytes) => Envelope::Reply(req_id, out_bytes),
+                Err(msg) => Envelope::ReplyErr(req_id, msg),
+            };
+            let mut buf = Vec::new();
+            frame(&env, &mut buf);
+            rt.lamellae.send(src_pe, &buf);
+        }));
+    }
+
+    /// Payload size (bytes) above which AM payloads take the heap-staging
+    /// path — also the runtime's aggregation threshold (the two coincide,
+    /// as in the paper's Fig. 2 discussion).
+    pub fn large_threshold(&self) -> usize {
+        self.large_threshold
+    }
+
+    /// Number of AMs/tasks this PE has launched and not yet completed.
+    pub fn pending_count(&self) -> usize {
+        self.my_pending.load(Ordering::Acquire)
+    }
+
+    /// The progress engine: runs on a dedicated thread until shutdown.
+    /// When the wire is idle it flushes partial aggregation buffers, so
+    /// sub-threshold batches (e.g. AM replies) never stall.
+    pub(crate) fn progress_loop(self: &Arc<Self>) {
+        while !self.shutdown.load(Ordering::Acquire) {
+            let any = self.tick();
+            if !any {
+                self.lamellae.flush();
+                std::thread::sleep(std::time::Duration::from_micros(20));
+            }
+        }
+    }
+}
+
+/// Small extension so `exec_am_pe` can insert while documenting intent.
+trait PendingMap {
+    fn insert_reply(&self, req_id: u64, cb: PendingReply);
+}
+
+impl PendingMap for Mutex<HashMap<u64, PendingReply>> {
+    fn insert_reply(&self, req_id: u64, cb: PendingReply) {
+        let prev = self.lock().insert(req_id, cb);
+        debug_assert!(prev.is_none(), "req_id collision");
+    }
+}
+
+impl std::fmt::Debug for RuntimeInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeInner")
+            .field("pe", &self.pe)
+            .field("num_pes", &self.num_pes)
+            .field("pending", &self.pending_count())
+            .finish()
+    }
+}
+
+/// Execution context handed to every AM's `exec` (the paper exposes the
+/// same information through `lamellar::current_pe`, `lamellar::num_pes`,
+/// `lamellar::world`, and `lamellar::team`).
+#[derive(Clone)]
+pub struct AmContext {
+    pub(crate) rt: Arc<RuntimeInner>,
+    pub(crate) src_pe: usize,
+}
+
+impl AmContext {
+    /// The PE this AM is executing on (`lamellar::current_pe`).
+    pub fn current_pe(&self) -> usize {
+        self.rt.pe()
+    }
+
+    /// Total PEs in the world (`lamellar::num_pes`).
+    pub fn num_pes(&self) -> usize {
+        self.rt.num_pes()
+    }
+
+    /// The PE that launched this AM.
+    pub fn src_pe(&self) -> usize {
+        self.src_pe
+    }
+
+    /// A world handle for launching nested AMs (`lamellar::world`) — "both
+    /// Lamellar::world and Lamellar::team can be used to launch new AMs
+    /// from within a currently executing AM".
+    pub fn world(&self) -> crate::world::LamellarWorld {
+        crate::world::LamellarWorld::from_rt(Arc::clone(&self.rt))
+    }
+}
+
+impl std::fmt::Debug for AmContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AmContext")
+            .field("current_pe", &self.current_pe())
+            .field("src_pe", &self.src_pe)
+            .finish()
+    }
+}

@@ -1,0 +1,192 @@
+//! A minimal oneshot channel connecting a spawned task to its
+//! [`JoinHandle`](crate::JoinHandle) / AM-result future.
+//!
+//! Implemented from scratch (no external async runtime) following the
+//! channel-building patterns of *Rust Atomics and Locks* ch. 5: a shared
+//! slot guarded by a lock, plus a parked `Waker` to notify the receiver.
+
+use parking_lot::Mutex;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+}
+
+enum State<T> {
+    /// Nothing sent yet; holds the receiver's waker if it polled.
+    Empty(Option<Waker>),
+    /// Value delivered, not yet taken.
+    Ready(T),
+    /// Value taken by the receiver.
+    Taken,
+    /// Sender dropped without sending.
+    Closed,
+}
+
+/// Sending half: delivers exactly one value.
+pub struct OneshotSender<T> {
+    shared: Arc<Shared<T>>,
+    sent: bool,
+}
+
+/// Receiving half: a future resolving to `Some(value)` or `None` if the
+/// sender was dropped.
+pub struct OneshotReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a connected oneshot pair.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let shared = Arc::new(Shared { state: Mutex::new(State::Empty(None)) });
+    (OneshotSender { shared: Arc::clone(&shared), sent: false }, OneshotReceiver { shared })
+}
+
+impl<T> OneshotSender<T> {
+    /// Deliver the value, waking the receiver if it is parked.
+    pub fn send(mut self, value: T) {
+        self.sent = true;
+        let waker = {
+            let mut state = self.shared.state.lock();
+            match std::mem::replace(&mut *state, State::Ready(value)) {
+                State::Empty(w) => w,
+                // Re-send is impossible (send consumes self), and the
+                // receiver cannot have taken a value that was never sent.
+                _ => unreachable!("oneshot sender observed impossible state"),
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        if self.sent {
+            return;
+        }
+        let waker = {
+            let mut state = self.shared.state.lock();
+            match &mut *state {
+                State::Empty(w) => {
+                    let w = w.take();
+                    *state = State::Closed;
+                    w
+                }
+                _ => None,
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> OneshotReceiver<T> {
+    /// Non-blocking check; `None` if nothing has arrived (or was taken).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut state = self.shared.state.lock();
+        match std::mem::replace(&mut *state, State::Taken) {
+            State::Ready(v) => Some(v),
+            prev => {
+                *state = prev;
+                None
+            }
+        }
+    }
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.shared.state.lock();
+        match std::mem::replace(&mut *state, State::Taken) {
+            State::Ready(v) => Poll::Ready(Some(v)),
+            State::Closed => {
+                *state = State::Closed;
+                Poll::Ready(None)
+            }
+            State::Taken => Poll::Ready(None),
+            State::Empty(_) => {
+                *state = State::Empty(Some(cx.waker().clone()));
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::task::{RawWaker, RawWakerVTable};
+
+    fn noop_waker() -> Waker {
+        fn clone(_: *const ()) -> RawWaker {
+            RawWaker::new(std::ptr::null(), &VTABLE)
+        }
+        fn noop(_: *const ()) {}
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, noop, noop, noop);
+        // SAFETY: all vtable fns are no-ops over a null pointer.
+        unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+    }
+
+    fn poll_once<T>(rx: &mut OneshotReceiver<T>) -> Poll<Option<T>> {
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        Pin::new(rx).poll(&mut cx)
+    }
+
+    #[test]
+    fn send_then_recv() {
+        let (tx, mut rx) = oneshot();
+        tx.send(99u32);
+        assert_eq!(poll_once(&mut rx), Poll::Ready(Some(99)));
+    }
+
+    #[test]
+    fn recv_before_send_is_pending() {
+        let (tx, mut rx) = oneshot::<u8>();
+        assert_eq!(poll_once(&mut rx), Poll::Pending);
+        tx.send(1);
+        assert_eq!(poll_once(&mut rx), Poll::Ready(Some(1)));
+    }
+
+    #[test]
+    fn dropped_sender_resolves_none() {
+        let (tx, mut rx) = oneshot::<u8>();
+        drop(tx);
+        assert_eq!(poll_once(&mut rx), Poll::Ready(None));
+    }
+
+    #[test]
+    fn try_recv_takes_at_most_once() {
+        let (tx, rx) = oneshot();
+        assert!(rx.try_recv().is_none());
+        tx.send(5u8);
+        assert_eq!(rx.try_recv(), Some(5));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = oneshot();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            tx.send(vec![1, 2, 3]);
+        });
+        // Spin-poll from this thread.
+        let mut rx = rx;
+        loop {
+            if let Poll::Ready(v) = poll_once(&mut rx) {
+                assert_eq!(v, Some(vec![1, 2, 3]));
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        t.join().unwrap();
+    }
+}

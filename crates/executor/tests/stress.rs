@@ -1,0 +1,90 @@
+//! Executor stress: heavy spawn storms, cross-thread wakes, and mixed
+//! block_on/spawn interleavings.
+
+use lamellar_executor::{oneshot, PoolConfig, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn ten_thousand_tasks_from_many_threads() {
+    let pool = Arc::new(ThreadPool::new(PoolConfig::with_workers(4)));
+    let counter = Arc::new(AtomicUsize::new(0));
+    let spawners: Vec<_> = (0..4)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..2_500 {
+                    let c = Arc::clone(&counter);
+                    drop(pool.spawn(async move {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+            })
+        })
+        .collect();
+    for s in spawners {
+        s.join().unwrap();
+    }
+    pool.wait_idle();
+    assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+}
+
+#[test]
+fn chained_oneshots_across_tasks() {
+    // A pipeline of tasks, each waiting on the previous stage's oneshot —
+    // exercises cross-task wakers heavily.
+    let pool = ThreadPool::new(PoolConfig::with_workers(3));
+    const STAGES: usize = 200;
+    let (first_tx, mut rx) = oneshot::<usize>();
+    for _ in 0..STAGES {
+        let (tx, next_rx) = oneshot::<usize>();
+        drop(pool.spawn(async move {
+            let v = rx.await.expect("stage input");
+            tx.send(v + 1);
+        }));
+        rx = next_rx;
+    }
+    first_tx.send(0);
+    let out = pool.block_on(async move { rx.await.expect("pipeline output") });
+    assert_eq!(out, STAGES);
+}
+
+#[test]
+fn block_on_from_multiple_threads_concurrently() {
+    let pool = Arc::new(ThreadPool::new(PoolConfig::with_workers(2)));
+    let threads: Vec<_> = (0..6)
+        .map(|i| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let h = pool.spawn(async move { i * 10 });
+                pool.block_on(h)
+            })
+        })
+        .collect();
+    let mut results: Vec<usize> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    results.sort_unstable();
+    assert_eq!(results, vec![0, 10, 20, 30, 40, 50]);
+}
+
+#[test]
+fn deep_async_recursion_via_boxing() {
+    fn countdown(
+        pool: Arc<ThreadPool>,
+        n: usize,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = usize> + Send>> {
+        Box::pin(async move {
+            if n == 0 {
+                0
+            } else {
+                let p = Arc::clone(&pool);
+                let h = pool.spawn(async move { countdown(p, n - 1).await });
+                h.await + 1
+            }
+        })
+    }
+    let pool = Arc::new(ThreadPool::new(PoolConfig::with_workers(3)));
+    let p = Arc::clone(&pool);
+    let out = pool.block_on(countdown(p, 100));
+    assert_eq!(out, 100);
+}

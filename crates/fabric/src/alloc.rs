@@ -1,0 +1,229 @@
+//! First-fit free-list allocator with coalescing.
+//!
+//! Each PE's registered RDMA region is carved up by one of these (paper
+//! Sec. III-A: "The Lamellae is also responsible for managing RDMA Memory
+//! Regions used within an application"). The allocator hands out *offsets*
+//! (not pointers) so the same bookkeeping can drive both the symmetric
+//! region (offsets shared by all PEs) and each PE's private dynamic heap.
+
+use crate::{FabricError, Result};
+use std::collections::BTreeMap;
+
+/// A free-list allocator over the abstract range `[base, base + len)`.
+///
+/// Invariants (checked by the property tests in `tests/proptest_alloc.rs`):
+/// * live allocations never overlap;
+/// * free blocks are disjoint from live allocations and from each other;
+/// * `free` immediately coalesces with adjacent free blocks, so a fully
+///   freed allocator always collapses back to a single block.
+#[derive(Debug)]
+pub struct FreeList {
+    base: usize,
+    len: usize,
+    /// Free blocks keyed by offset → size. BTreeMap keeps them address
+    /// ordered, which makes coalescing O(log n).
+    free: BTreeMap<usize, usize>,
+    /// Live allocations keyed by the offset handed to the caller →
+    /// (block_offset, block_size). `block_offset <= offset` when alignment
+    /// padding was needed.
+    live: BTreeMap<usize, (usize, usize)>,
+    /// Bytes currently allocated (block sizes, including alignment padding).
+    in_use: usize,
+}
+
+impl FreeList {
+    /// Create an allocator over `[base, base + len)`.
+    pub fn new(base: usize, len: usize) -> Self {
+        let mut free = BTreeMap::new();
+        if len > 0 {
+            free.insert(base, len);
+        }
+        FreeList { base, len, free, live: BTreeMap::new(), in_use: 0 }
+    }
+
+    /// Total bytes managed.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Bytes currently allocated (including alignment padding).
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Bytes currently free.
+    pub fn available(&self) -> usize {
+        self.len - self.in_use
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Allocate `size` bytes aligned to `align` (a power of two).
+    /// Returns the aligned offset.
+    pub fn alloc(&mut self, size: usize, align: usize) -> Result<usize> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let size = size.max(1);
+        // First fit: scan address-ordered free blocks.
+        let mut found = None;
+        for (&off, &blen) in &self.free {
+            let aligned = (off + align - 1) & !(align - 1);
+            let pad = aligned - off;
+            if blen >= pad + size {
+                found = Some((off, blen, aligned, pad));
+                break;
+            }
+        }
+        let Some((off, blen, aligned, pad)) = found else {
+            return Err(FabricError::OutOfMemory { requested: size, available: self.available() });
+        };
+        self.free.remove(&off);
+        // The block we hand out spans [off, aligned + size): alignment
+        // padding stays owned by the allocation so free() can return it.
+        let block_size = pad + size;
+        let tail = blen - block_size;
+        if tail > 0 {
+            self.free.insert(off + block_size, tail);
+        }
+        self.live.insert(aligned, (off, block_size));
+        self.in_use += block_size;
+        Ok(aligned)
+    }
+
+    /// Free the allocation previously returned at `offset`.
+    pub fn free(&mut self, offset: usize) -> Result<()> {
+        let (block_off, block_size) =
+            self.live.remove(&offset).ok_or(FabricError::InvalidFree { offset })?;
+        self.in_use -= block_size;
+        self.insert_free(block_off, block_size);
+        Ok(())
+    }
+
+    /// Size (excluding alignment padding start) of the live allocation at
+    /// `offset`, if any.
+    pub fn allocation_size(&self, offset: usize) -> Option<usize> {
+        self.live.get(&offset).map(|&(block_off, block_size)| block_size - (offset - block_off))
+    }
+
+    fn insert_free(&mut self, mut off: usize, mut size: usize) {
+        // Coalesce with the predecessor if adjacent.
+        if let Some((&poff, &psize)) = self.free.range(..off).next_back() {
+            debug_assert!(poff + psize <= off, "free blocks overlap");
+            if poff + psize == off {
+                self.free.remove(&poff);
+                off = poff;
+                size += psize;
+            }
+        }
+        // Coalesce with the successor if adjacent.
+        if let Some((&noff, &nsize)) = self.free.range(off + size..).next() {
+            if off + size == noff {
+                self.free.remove(&noff);
+                size += nsize;
+            }
+        }
+        self.free.insert(off, size);
+    }
+
+    /// True when nothing is allocated and the free list has collapsed back
+    /// to one block spanning the whole range.
+    pub fn is_pristine(&self) -> bool {
+        self.live.is_empty()
+            && self.in_use == 0
+            && (self.len == 0 || self.free.get(&self.base) == Some(&self.len))
+            && self.free.len() == usize::from(self.len > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip_restores_pristine() {
+        let mut fl = FreeList::new(0, 1024);
+        let a = fl.alloc(100, 8).unwrap();
+        let b = fl.alloc(200, 8).unwrap();
+        let c = fl.alloc(50, 8).unwrap();
+        assert!(fl.in_use() >= 350);
+        // Free out of order to exercise both coalescing directions.
+        fl.free(b).unwrap();
+        fl.free(a).unwrap();
+        fl.free(c).unwrap();
+        assert!(fl.is_pristine());
+    }
+
+    #[test]
+    fn allocations_respect_alignment() {
+        let mut fl = FreeList::new(3, 4096); // deliberately misaligned base
+        for align in [1usize, 2, 4, 8, 64, 256] {
+            let off = fl.alloc(10, align).unwrap();
+            assert_eq!(off % align, 0, "align {align}");
+        }
+    }
+
+    #[test]
+    fn allocations_never_overlap() {
+        let mut fl = FreeList::new(0, 4096);
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for i in 1..20 {
+            let size = i * 7;
+            let off = fl.alloc(size, 8).unwrap();
+            for &(o, s) in &spans {
+                assert!(off + size <= o || o + s <= off, "overlap");
+            }
+            spans.push((off, size));
+        }
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut fl = FreeList::new(0, 128);
+        assert!(fl.alloc(64, 1).is_ok());
+        assert!(matches!(fl.alloc(128, 1), Err(FabricError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut fl = FreeList::new(0, 128);
+        let a = fl.alloc(16, 8).unwrap();
+        fl.free(a).unwrap();
+        assert_eq!(fl.free(a), Err(FabricError::InvalidFree { offset: a }));
+    }
+
+    #[test]
+    fn free_of_unallocated_offset_rejected() {
+        let mut fl = FreeList::new(0, 128);
+        assert_eq!(fl.free(4), Err(FabricError::InvalidFree { offset: 4 }));
+    }
+
+    #[test]
+    fn reuse_after_free() {
+        let mut fl = FreeList::new(0, 64);
+        let a = fl.alloc(64, 1).unwrap();
+        assert!(fl.alloc(1, 1).is_err());
+        fl.free(a).unwrap();
+        assert!(fl.alloc(64, 1).is_ok());
+    }
+
+    #[test]
+    fn allocation_size_tracks_requested_bytes() {
+        let mut fl = FreeList::new(0, 1024);
+        let a = fl.alloc(100, 64).unwrap();
+        assert!(fl.allocation_size(a).unwrap() >= 100);
+        assert_eq!(fl.allocation_size(a + 1), None);
+    }
+
+    #[test]
+    fn zero_sized_alloc_gets_unique_offset() {
+        let mut fl = FreeList::new(0, 64);
+        let a = fl.alloc(0, 1).unwrap();
+        let b = fl.alloc(0, 1).unwrap();
+        assert_ne!(a, b);
+        fl.free(a).unwrap();
+        fl.free(b).unwrap();
+        assert!(fl.is_pristine());
+    }
+}

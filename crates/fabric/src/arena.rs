@@ -1,0 +1,226 @@
+//! Per-PE registered RDMA memory region.
+//!
+//! In the real system this memory is registered with libfabric so the NIC
+//! can DMA into it. Here it is a page-aligned process allocation that other
+//! simulated PEs write into directly. Safety mirrors the hardware reality:
+//! raw access is `unsafe` (a remote PE can write at any time), while the
+//! atomic accessors are safe (they go through `Atomic*` types, which is how
+//! the runtime's flag-based transfer protocol synchronizes data access —
+//! data writes happen-before the release store of the flag).
+
+use crate::{FabricError, Result};
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize};
+
+/// Alignment of the arena base (a typical page).
+pub const ARENA_ALIGN: usize = 4096;
+
+/// One PE's registered memory region.
+pub struct Arena {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the arena is raw shared memory by design. All plain-data access is
+// gated behind `unsafe` methods whose contracts require the caller (the
+// Lamellae protocol layer) to provide synchronization, exactly as for real
+// RDMA-registered memory. The atomic accessors are safe because `Atomic*`
+// types permit concurrent access from any thread.
+unsafe impl Send for Arena {}
+unsafe impl Sync for Arena {}
+
+impl Arena {
+    /// Allocate a zeroed region of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "arena must be non-empty");
+        let layout = Layout::from_size_align(len, ARENA_ALIGN).expect("arena layout");
+        // SAFETY: layout has non-zero size (asserted above).
+        let ptr = unsafe { alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "arena allocation failed");
+        Arena { ptr, len }
+    }
+
+    /// Region size in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region is empty (never true; arenas are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base pointer of the region.
+    pub fn base_ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    fn check(&self, offset: usize, len: usize) -> Result<()> {
+        if offset.checked_add(len).is_some_and(|end| end <= self.len) {
+            Ok(())
+        } else {
+            Err(FabricError::OutOfBounds { offset, len, arena_len: self.len })
+        }
+    }
+
+    /// Read `dst.len()` bytes starting at `offset`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no PE is concurrently writing the range
+    /// (the RDMA contract: reads racing remote puts return torn data in the
+    /// real system; here they would be UB, so the runtime's flag protocol
+    /// must order them).
+    pub unsafe fn read(&self, offset: usize, dst: &mut [u8]) -> Result<()> {
+        self.check(offset, dst.len())?;
+        // SAFETY: bounds checked; caller guarantees no concurrent writers.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(offset), dst.as_mut_ptr(), dst.len());
+        }
+        Ok(())
+    }
+
+    /// Write `src` into the region starting at `offset`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no PE is concurrently reading or writing
+    /// the range (see [`Arena::read`]).
+    pub unsafe fn write(&self, offset: usize, src: &[u8]) -> Result<()> {
+        self.check(offset, src.len())?;
+        // SAFETY: bounds checked; caller guarantees exclusive access.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(offset), src.len());
+        }
+        Ok(())
+    }
+
+    /// Borrow `len` bytes starting at `offset` as a slice.
+    ///
+    /// # Safety
+    /// The caller must guarantee no PE writes the range for the lifetime of
+    /// the returned slice.
+    pub unsafe fn slice(&self, offset: usize, len: usize) -> Result<&[u8]> {
+        self.check(offset, len)?;
+        // SAFETY: bounds checked; caller guarantees immutability.
+        Ok(unsafe { std::slice::from_raw_parts(self.ptr.add(offset), len) })
+    }
+
+    /// Borrow `len` bytes starting at `offset` as a mutable slice.
+    ///
+    /// # Safety
+    /// The caller must guarantee exclusive access to the range for the
+    /// lifetime of the returned slice.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, offset: usize, len: usize) -> Result<&mut [u8]> {
+        self.check(offset, len)?;
+        // SAFETY: bounds checked; caller guarantees exclusivity.
+        Ok(unsafe { std::slice::from_raw_parts_mut(self.ptr.add(offset), len) })
+    }
+
+    /// View the 8 bytes at `offset` as an `AtomicU64`.
+    ///
+    /// Safe: atomics tolerate concurrent access from every PE. This is the
+    /// primitive behind the Lamellae's flag-based transfer signalling.
+    pub fn atomic_u64(&self, offset: usize) -> Result<&AtomicU64> {
+        self.check(offset, 8)?;
+        if offset % 8 != 0 {
+            return Err(FabricError::Misaligned { offset, align: 8 });
+        }
+        // SAFETY: bounds + alignment checked; AtomicU64 allows aliasing.
+        Ok(unsafe { &*(self.ptr.add(offset) as *const AtomicU64) })
+    }
+
+    /// View the 8 bytes at `offset` as an `AtomicUsize` (64-bit platforms).
+    pub fn atomic_usize(&self, offset: usize) -> Result<&AtomicUsize> {
+        self.check(offset, std::mem::size_of::<usize>())?;
+        if offset % std::mem::align_of::<usize>() != 0 {
+            return Err(FabricError::Misaligned { offset, align: std::mem::align_of::<usize>() });
+        }
+        // SAFETY: bounds + alignment checked; AtomicUsize allows aliasing.
+        Ok(unsafe { &*(self.ptr.add(offset) as *const AtomicUsize) })
+    }
+
+    /// View the byte at `offset` as an `AtomicU8` (used by the
+    /// GenericAtomicArray's 1-byte element locks).
+    pub fn atomic_u8(&self, offset: usize) -> Result<&AtomicU8> {
+        self.check(offset, 1)?;
+        // SAFETY: bounds checked; AtomicU8 allows aliasing, no alignment
+        // requirement beyond 1.
+        Ok(unsafe { &*(self.ptr.add(offset) as *const AtomicU8) })
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.len, ARENA_ALIGN).expect("arena layout");
+        // SAFETY: ptr was produced by alloc_zeroed with this exact layout.
+        unsafe { dealloc(self.ptr, layout) };
+    }
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let a = Arena::new(256);
+        let data = [1u8, 2, 3, 4, 5];
+        unsafe { a.write(10, &data).unwrap() };
+        let mut out = [0u8; 5];
+        unsafe { a.read(10, &mut out).unwrap() };
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn starts_zeroed() {
+        let a = Arena::new(64);
+        let mut out = [1u8; 64];
+        unsafe { a.read(0, &mut out).unwrap() };
+        assert_eq!(out, [0u8; 64]);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let a = Arena::new(16);
+        let mut buf = [0u8; 8];
+        assert!(unsafe { a.read(12, &mut buf) }.is_err());
+        assert!(unsafe { a.write(16, &[0]) }.is_err());
+        // Overflowing offset+len must not wrap.
+        assert!(unsafe { a.read(usize::MAX, &mut buf) }.is_err());
+        assert!(a.atomic_u64(16).is_err());
+    }
+
+    #[test]
+    fn atomics_work_and_alias_bytes() {
+        let a = Arena::new(64);
+        a.atomic_u64(8).unwrap().store(0xdead_beef, Ordering::Release);
+        let mut out = [0u8; 8];
+        unsafe { a.read(8, &mut out).unwrap() };
+        assert_eq!(u64::from_le_bytes(out), 0xdead_beef);
+    }
+
+    #[test]
+    fn atomic_alignment_enforced() {
+        let a = Arena::new(64);
+        assert_eq!(a.atomic_u64(3).err(), Some(FabricError::Misaligned { offset: 3, align: 8 }));
+        assert!(a.atomic_u8(3).is_ok());
+    }
+
+    #[test]
+    fn slices_view_written_data() {
+        let a = Arena::new(32);
+        unsafe {
+            a.write(0, &[9, 8, 7]).unwrap();
+            assert_eq!(a.slice(0, 3).unwrap(), &[9, 8, 7]);
+            a.slice_mut(1, 1).unwrap()[0] = 42;
+            assert_eq!(a.slice(0, 3).unwrap(), &[9, 42, 7]);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! # rofi-sim
+//!
+//! A simulated network fabric standing in for ROFI / libfabric / OFI
+//! (paper Sec. III-A.1). See DESIGN.md §1 for the substitution rationale.
+//!
+//! The real Lamellar stack bottoms out in ROFI, a thin C shim over
+//! libfabric exposing: registered RDMA memory regions, one-sided `put`/`get`
+//! of raw bytes, a collective `barrier`, and (de)allocation of RDMA memory.
+//! This crate provides exactly that surface for a set of *simulated* PEs that
+//! live in one OS process:
+//!
+//! * [`arena::Arena`] — one registered memory region per PE, carved up by a
+//!   first-fit free-list allocator ([`alloc::FreeList`]) into a *symmetric*
+//!   region (collective allocations, identical offsets on every PE — used by
+//!   the runtime's internal queues) and a *dynamic heap* (one-sided
+//!   allocations, per-PE offsets — used for user data structures, Sec. III-A:
+//!   "the remainder of the RDMA Memory Region is used as a one-sided dynamic
+//!   heap").
+//! * [`fabric::Fabric`] / [`fabric::FabricPe`] — the per-PE handle with
+//!   `put`/`get`/atomic-flag operations and collectives.
+//! * [`netmodel::NetModel`] — an optional cost model (per-message latency,
+//!   per-byte bandwidth, an `fi_inject_write` small-message fast path) that
+//!   reproduces the *shape* of the paper's Fig. 2 bandwidth curves. Disabled
+//!   by default so tests run at memory speed over the identical code paths.
+//! * [`rofi`] — an `unsafe` C-style API mirroring ROFI.h / the rofi-sys
+//!   crate, measured directly by the Fig. 2 "Rofi(libfabric)" series.
+//!
+//! Everything above this crate (the Lamellae, AMs, arrays) sees only bytes
+//! moving between PEs — the same contract the real hardware provides.
+
+pub mod alloc;
+pub mod arena;
+pub mod barrier;
+pub mod fabric;
+pub mod netmodel;
+pub mod rofi;
+
+pub use arena::Arena;
+pub use barrier::SenseBarrier;
+pub use fabric::{Fabric, FabricPe};
+pub use netmodel::{NetConfig, NetModel};
+
+/// Errors surfaced by fabric operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// An offset/length pair fell outside the target arena.
+    OutOfBounds { offset: usize, len: usize, arena_len: usize },
+    /// The arena could not satisfy an allocation request.
+    OutOfMemory { requested: usize, available: usize },
+    /// A PE id outside `0..num_pes`.
+    InvalidPe { pe: usize, num_pes: usize },
+    /// `free` was called with an offset that is not a live allocation.
+    InvalidFree { offset: usize },
+    /// An atomic accessor was given a misaligned offset.
+    Misaligned { offset: usize, align: usize },
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::OutOfBounds { offset, len, arena_len } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) out of bounds of arena of {arena_len} bytes"
+            ),
+            FabricError::OutOfMemory { requested, available } => {
+                write!(f, "arena exhausted: requested {requested} bytes, {available} free")
+            }
+            FabricError::InvalidPe { pe, num_pes } => {
+                write!(f, "invalid PE {pe} (world has {num_pes} PEs)")
+            }
+            FabricError::InvalidFree { offset } => {
+                write!(f, "free of non-allocated offset {offset}")
+            }
+            FabricError::Misaligned { offset, align } => {
+                write!(f, "offset {offset} not aligned to {align}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Result alias for fabric operations.
+pub type Result<T> = std::result::Result<T, FabricError>;

@@ -1,0 +1,129 @@
+//! ROFI / rofi-sys compatibility shim.
+//!
+//! The paper layers a C library (ROFI) over libfabric and an `unsafe` Rust
+//! binding crate (rofi-sys) over that (Sec. III-A.1): "Every function
+//! provided by ROFI-sys must be declared as `unsafe`, because the Rust
+//! compiler cannot guarantee the behavior and safety of libraries written in
+//! other languages."
+//!
+//! This module reproduces that API surface over the simulated fabric so the
+//! Fig. 2 "Rofi(libfabric)" series can be measured at the same layer the
+//! paper measured it: raw put/get with *manual* termination detection and no
+//! runtime involvement. All transfer functions are `unsafe` for the same
+//! reason the originals are — nothing checks for racing remote accesses.
+
+use crate::fabric::FabricPe;
+use crate::Result;
+
+/// A per-PE ROFI context, the moral equivalent of the state `rofi_init`
+/// establishes in the C library.
+pub struct Rofi {
+    pe: FabricPe,
+}
+
+impl Rofi {
+    /// `rofi_init`: bind a context to this PE's fabric endpoint.
+    pub fn init(pe: FabricPe) -> Self {
+        Rofi { pe }
+    }
+
+    /// `rofi_get_id`: this PE's rank.
+    pub fn get_id(&self) -> usize {
+        self.pe.pe()
+    }
+
+    /// `rofi_get_size`: number of PEs in the job.
+    pub fn get_size(&self) -> usize {
+        self.pe.num_pes()
+    }
+
+    /// `rofi_alloc`: allocate a symmetric RDMA-registered region; the
+    /// returned offset is valid on every PE.
+    ///
+    /// The real call is collective; here the shared symmetric allocator
+    /// keeps layouts identical, so a single call suffices and callers
+    /// barrier afterwards just as the C API requires.
+    pub fn alloc(&self, size: usize) -> Result<usize> {
+        self.pe.fabric().alloc_symmetric(size, 64)
+    }
+
+    /// `rofi_release`: free a symmetric region.
+    pub fn release(&self, offset: usize) -> Result<()> {
+        self.pe.fabric().free_symmetric(offset)
+    }
+
+    /// `rofi_put`: one-sided write of `src` to `pe`'s memory at `offset`.
+    ///
+    /// # Safety
+    /// As in rofi-sys: the caller must ensure the remote range is not
+    /// concurrently accessed and remains allocated for the duration.
+    pub unsafe fn put(&self, pe: usize, offset: usize, src: &[u8]) -> Result<()> {
+        // SAFETY: contract forwarded to the caller.
+        unsafe { self.pe.put(pe, offset, src) }
+    }
+
+    /// `rofi_get`: one-sided read from `pe`'s memory at `offset`.
+    ///
+    /// # Safety
+    /// As in rofi-sys: the caller must ensure the remote range is not
+    /// concurrently written and remains allocated for the duration.
+    pub unsafe fn get(&self, pe: usize, offset: usize, dst: &mut [u8]) -> Result<()> {
+        // SAFETY: contract forwarded to the caller.
+        unsafe { self.pe.get(pe, offset, dst) }
+    }
+
+    /// `rofi_barrier`: block until every PE has entered.
+    pub fn barrier(&self) {
+        self.pe.barrier();
+    }
+
+    /// Access the underlying fabric endpoint (used by the Lamellae layer,
+    /// which wraps this shim exactly as ROFI_Lamellae wraps rofi-sys).
+    pub fn endpoint(&self) -> &FabricPe {
+        &self.pe
+    }
+}
+
+impl std::fmt::Debug for Rofi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rofi").field("pe", &self.get_id()).field("size", &self.get_size()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig};
+    use crate::netmodel::NetConfig;
+
+    #[test]
+    fn rofi_style_put_get_with_manual_termination() {
+        let pes = Fabric::new(FabricConfig {
+            num_pes: 2,
+            sym_len: 1 << 16,
+            heap_len: 1 << 12,
+            net: NetConfig::disabled(),
+        });
+        let mut pes = pes.into_iter();
+        let r0 = Rofi::init(pes.next().unwrap());
+        let r1 = Rofi::init(pes.next().unwrap());
+        assert_eq!(r0.get_id(), 0);
+        assert_eq!(r1.get_size(), 2);
+
+        let region = r0.alloc(1024).unwrap();
+        // Manual termination detection, as in the paper's Fig. 2 raw tests:
+        // write a known pattern, then barrier.
+        let t = std::thread::spawn(move || {
+            unsafe { r1.put(0, region, &[0x5a; 1024]).unwrap() };
+            r1.barrier();
+            r1
+        });
+        r0.barrier();
+        let mut out = [0u8; 1024];
+        unsafe { r0.get(0, region, &mut out).unwrap() };
+        assert_eq!(out, [0x5a; 1024]);
+        let r1 = t.join().unwrap();
+        drop(r1);
+        r0.release(region).unwrap();
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the arena allocator: live allocations never overlap,
+//! frees coalesce, and a fully-freed allocator returns to pristine state.
+
+use proptest::prelude::*;
+use rofi_sim::alloc::FreeList;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { size: usize, align_pow: u8 },
+    FreeNth(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..512, 0u8..7).prop_map(|(size, align_pow)| Op::Alloc { size, align_pow }),
+        (0usize..64).prop_map(Op::FreeNth),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_alloc_free_sequences_hold_invariants(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let mut fl = FreeList::new(0, 1 << 16);
+        let mut live: Vec<(usize, usize)> = Vec::new(); // (offset, size)
+        for op in ops {
+            match op {
+                Op::Alloc { size, align_pow } => {
+                    let align = 1usize << align_pow;
+                    if let Ok(off) = fl.alloc(size, align) {
+                        prop_assert_eq!(off % align, 0);
+                        for &(o, s) in &live {
+                            prop_assert!(off + size <= o || o + s <= off,
+                                "allocation [{}, {}) overlaps live [{}, {})", off, off + size, o, o + s);
+                        }
+                        live.push((off, size));
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (off, _) = live.swap_remove(n % live.len());
+                        fl.free(off).unwrap();
+                    }
+                }
+            }
+            prop_assert_eq!(fl.live_allocations(), live.len());
+        }
+        // Drain everything: allocator must return to a single free block.
+        for (off, _) in live {
+            fl.free(off).unwrap();
+        }
+        prop_assert!(fl.is_pristine());
+    }
+
+    #[test]
+    fn alloc_never_exceeds_capacity(sizes in prop::collection::vec(1usize..2048, 1..128)) {
+        let cap = 1 << 14;
+        let mut fl = FreeList::new(0, cap);
+        for size in sizes {
+            if fl.alloc(size, 8).is_ok() {
+                prop_assert!(fl.in_use() <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn freed_space_is_reusable(size in 1usize..4096) {
+        let mut fl = FreeList::new(0, 8192);
+        let a = fl.alloc(size, 8).unwrap();
+        let b = fl.alloc(8192 - fl.in_use(), 1);
+        // Arena is now (nearly) full; free the first and realloc same size.
+        fl.free(a).unwrap();
+        let c = fl.alloc(size, 8).unwrap();
+        prop_assert_eq!(c, a, "first-fit must reuse the freed block");
+        if let Ok(b) = b { fl.free(b).unwrap(); }
+        fl.free(c).unwrap();
+        prop_assert!(fl.is_pristine());
+    }
+}

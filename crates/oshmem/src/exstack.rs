@@ -1,0 +1,175 @@
+//! Exstack: the bulk-synchronous BALE aggregation library.
+//!
+//! Paper Sec. II: "Exstack performs synchronous aggregation (resembling a
+//! bulk synchronous programming model)." The canonical loop is
+//!
+//! ```text
+//! while exstack_proceed(ex, i == n) {
+//!     while i < n && exstack_push(ex, pkg, pe) { i += 1 }
+//!     exstack_exchange(ex)            // collective all-to-all of buffers
+//!     while exstack_pop(ex, &pkg, &from) { process(pkg) }
+//! }
+//! ```
+//!
+//! Buffers live in symmetric memory: each PE hosts one inbox slot of
+//! `capacity` items *per source PE*; `exchange` is a barrier-put-barrier.
+
+use crate::shmem::{ShmemCtx, SymSlice};
+
+/// A bulk-synchronous exchange stack for `Copy` items.
+pub struct Exstack<T: Copy + Default> {
+    /// Items per (src, dst) buffer.
+    capacity: usize,
+    /// Local staging, one buffer per destination.
+    send: Vec<Vec<T>>,
+    /// Symmetric inbox: `num_pes × capacity` items, segmented by source PE.
+    inbox: SymSlice<T>,
+    /// Symmetric inbox counts, one slot per source PE.
+    counts: SymSlice<u64>,
+    /// Symmetric done flags, one per PE.
+    done: SymSlice<u64>,
+    /// Drain cursor: (source PE, index within its segment).
+    drain: (usize, usize),
+    /// Snapshot of this round's inbox counts.
+    drained_counts: Vec<u64>,
+}
+
+impl<T: Copy + Default> Exstack<T> {
+    /// Collectively create an exstack with `capacity` items per PE pair.
+    pub fn new(ctx: &ShmemCtx, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        let n = ctx.n_pes();
+        Exstack {
+            capacity,
+            send: vec![Vec::with_capacity(capacity); n],
+            inbox: ctx.shmem_malloc::<T>(n * capacity),
+            counts: ctx.shmem_malloc::<u64>(n),
+            done: ctx.shmem_malloc::<u64>(n),
+            drain: (0, 0),
+            drained_counts: vec![0; n],
+        }
+    }
+
+    /// Stage an item for `dst`. Returns false (item not taken) when the
+    /// buffer for `dst` is full — time to `exchange`.
+    pub fn push(&mut self, dst: usize, item: T) -> bool {
+        if self.send[dst].len() >= self.capacity {
+            return false;
+        }
+        self.send[dst].push(item);
+        true
+    }
+
+    /// Collective: everyone transmits its staged buffers into the
+    /// destinations' inboxes, then starts draining.
+    pub fn exchange(&mut self, ctx: &ShmemCtx) {
+        let me = ctx.my_pe();
+        ctx.barrier_all(); // inboxes from the previous round fully drained
+        for (dst, buf) in self.send.iter_mut().enumerate() {
+            ctx.p(self.counts, dst, me, buf.len() as u64);
+            if !buf.is_empty() {
+                ctx.put(self.inbox, dst, me * self.capacity, buf);
+            }
+            buf.clear();
+        }
+        ctx.barrier_all(); // all puts complete
+        // SAFETY: between the barriers above and the next exchange's first
+        // barrier, this PE is the only accessor of its inbox.
+        let counts = unsafe { ctx.local_slice(self.counts) };
+        self.drained_counts.copy_from_slice(counts);
+        self.drain = (0, 0);
+    }
+
+    /// Pop the next received item, with its source PE.
+    pub fn pop(&mut self, ctx: &ShmemCtx) -> Option<(usize, T)> {
+        let n = ctx.n_pes();
+        while self.drain.0 < n {
+            let (src, idx) = self.drain;
+            if (idx as u64) < self.drained_counts[src] {
+                // SAFETY: see exchange — inbox is quiescent between rounds.
+                let inbox = unsafe { ctx.local_slice(self.inbox) };
+                let item = inbox[src * self.capacity + idx];
+                self.drain.1 += 1;
+                return Some((src, item));
+            }
+            self.drain = (src + 1, 0);
+        }
+        None
+    }
+
+    /// Collective vote: returns true while any PE still has work
+    /// (`exstack_proceed`). Pass `im_done` once this PE will push nothing
+    /// more.
+    pub fn proceed(&mut self, ctx: &ShmemCtx, im_done: bool) -> bool {
+        let me = ctx.my_pe();
+        let flag = if im_done && self.send.iter().all(|b| b.is_empty()) { 1 } else { 0 };
+        for pe in 0..ctx.n_pes() {
+            ctx.p(self.done, pe, me, flag);
+        }
+        ctx.barrier_all();
+        // SAFETY: flags written before the barrier; nobody writes again
+        // until the next proceed.
+        let done = unsafe { ctx.local_slice(self.done) };
+        let all_done = done.iter().all(|&f| f == 1);
+        ctx.barrier_all();
+        !all_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shmem::shmem_launch;
+
+    /// Histogram-style all-to-all: every PE sends k items to every PE;
+    /// receivers must see exactly n_pes × k items with correct payloads.
+    #[test]
+    fn bulk_synchronous_all_to_all() {
+        let totals = shmem_launch(4, 8, |ctx| {
+            let n = ctx.n_pes();
+            let me = ctx.my_pe();
+            let mut ex = Exstack::<u64>::new(&ctx, 16);
+            let mut outgoing: Vec<(usize, u64)> = (0..10 * n)
+                .map(|i| (i % n, (me * 1000 + i) as u64))
+                .collect();
+            let mut received = Vec::new();
+            let mut i = 0;
+            while ex.proceed(&ctx, i == outgoing.len()) {
+                while i < outgoing.len() {
+                    let (dst, item) = outgoing[i];
+                    if !ex.push(dst, item) {
+                        break;
+                    }
+                    i += 1;
+                }
+                ex.exchange(&ctx);
+                while let Some((src, item)) = ex.pop(&ctx) {
+                    // Payload encodes its sender.
+                    assert_eq!(item / 1000, src as u64);
+                    received.push(item);
+                }
+            }
+            outgoing.clear();
+            received.len()
+        });
+        assert_eq!(totals, vec![40, 40, 40, 40]);
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        shmem_launch(2, 4, |ctx| {
+            let mut ex = Exstack::<u64>::new(&ctx, 4);
+            for i in 0..4 {
+                assert!(ex.push(0, i));
+            }
+            assert!(!ex.push(0, 99), "5th push must be refused");
+            // Drain the protocol so both PEs exit cleanly.
+            let mut done = false;
+            while ex.proceed(&ctx, done) {
+                ex.exchange(&ctx);
+                while ex.pop(&ctx).is_some() {}
+                done = true;
+            }
+        });
+    }
+}

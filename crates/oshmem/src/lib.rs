@@ -1,0 +1,24 @@
+//! # oshmem-sim
+//!
+//! A simulated OpenSHMEM substrate plus the C/C++ aggregation baselines the
+//! paper compares against (Sec. IV-B): **Exstack** (bulk-synchronous),
+//! **Exstack2** (asynchronous), **Conveyors** (multi-hop), **Selectors**
+//! (HClib actor model), and a Chapel-style **CopyAggregator**.
+//!
+//! The real baselines run one OpenSHMEM process per core; here each SHMEM
+//! PE is a thread with a symmetric heap carved out of the same simulated
+//! fabric (`rofi-sim`) that backs Lamellar — so all seven series in the
+//! paper's Figs. 3–5 move their bytes through the same wire and cost model
+//! (DESIGN.md §1).
+//!
+//! Only the SHMEM subset the BALE kernels need is implemented: symmetric
+//! allocation, put/get, 64-bit remote atomics, and `barrier_all`.
+
+pub mod chapel_agg;
+pub mod convey;
+pub mod exstack;
+pub mod exstack2;
+pub mod selector;
+pub mod shmem;
+
+pub use shmem::{shmem_launch, ShmemCtx, SymSlice};

@@ -1,0 +1,350 @@
+//! The SHMEM-style substrate: symmetric heap, put/get, remote atomics.
+//!
+//! Mirrors the OpenSHMEM subset the BALE baselines use. Symmetric
+//! allocation follows the classic SHMEM contract: every PE calls
+//! `shmem_malloc` collectively in the same program order and receives the
+//! same offset (enforced here with a call-sequence memo on the shared
+//! allocator).
+
+use parking_lot::Mutex;
+use rofi_sim::fabric::{Fabric, FabricConfig};
+use rofi_sim::{FabricPe, NetConfig};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Shared state of one SHMEM "job".
+struct ShmemWorld {
+    /// Memo: collective-allocation sequence number → (offset, PEs served).
+    sym_calls: Mutex<HashMap<u64, (usize, usize)>>,
+}
+
+/// A PE's SHMEM context.
+pub struct ShmemCtx {
+    ep: FabricPe,
+    world: Arc<ShmemWorld>,
+    /// This PE's collective-call counter (SPMD order assumption).
+    sym_seq: std::cell::Cell<u64>,
+}
+
+// The Cell is fine: a ShmemCtx belongs to exactly one PE thread.
+unsafe impl Send for ShmemCtx {}
+
+/// A typed view of a symmetric allocation: the same `offset` addresses a
+/// block of `len` `T`s on every PE.
+pub struct SymSlice<T> {
+    offset: usize,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Clone for SymSlice<T> {
+    fn clone(&self) -> Self {
+        SymSlice { offset: self.offset, len: self.len, _marker: PhantomData }
+    }
+}
+impl<T> Copy for SymSlice<T> {}
+
+impl<T> SymSlice<T> {
+    /// Elements per PE.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn byte_off(&self, index: usize) -> usize {
+        assert!(index <= self.len, "symmetric index {index} out of bounds ({})", self.len);
+        self.offset + index * std::mem::size_of::<T>()
+    }
+}
+
+impl ShmemCtx {
+    /// This PE's rank (`shmem_my_pe`).
+    pub fn my_pe(&self) -> usize {
+        self.ep.pe()
+    }
+
+    /// Number of PEs (`shmem_n_pes`).
+    pub fn n_pes(&self) -> usize {
+        self.ep.num_pes()
+    }
+
+    /// Collective symmetric allocation (`shmem_malloc`), zero-initialized.
+    /// Every PE must call in the same order.
+    pub fn shmem_malloc<T: Copy>(&self, len: usize) -> SymSlice<T> {
+        let seq = self.sym_seq.get();
+        self.sym_seq.set(seq + 1);
+        let bytes = (len * std::mem::size_of::<T>()).max(1);
+        let align = std::mem::align_of::<T>().max(8);
+        let npes = self.n_pes();
+        let offset = {
+            let mut calls = self.world.sym_calls.lock();
+            match calls.get_mut(&seq) {
+                Some(entry) => {
+                    entry.1 += 1;
+                    let off = entry.0;
+                    if entry.1 == npes {
+                        calls.remove(&seq);
+                    }
+                    off
+                }
+                None => {
+                    let off = self
+                        .ep
+                        .fabric()
+                        .alloc_symmetric(bytes, align)
+                        .expect("symmetric heap exhausted");
+                    if npes > 1 {
+                        calls.insert(seq, (off, 1));
+                    }
+                    off
+                }
+            }
+        };
+        self.barrier_all();
+        SymSlice { offset, len, _marker: PhantomData }
+    }
+
+    /// Blocking put of `src` into `pe`'s copy of `slice` at `index`
+    /// (`shmem_putmem`).
+    pub fn put<T: Copy>(&self, slice: SymSlice<T>, pe: usize, index: usize, src: &[T]) {
+        assert!(index + src.len() <= slice.len, "put out of bounds");
+        let bytes = unsafe {
+            std::slice::from_raw_parts(src.as_ptr() as *const u8, std::mem::size_of_val(src))
+        };
+        // SAFETY: SHMEM semantics — racing accesses are the program's
+        // responsibility, as on real hardware; the BALE kernels synchronize
+        // with barriers.
+        unsafe { self.ep.put(pe, slice.byte_off(index), bytes).expect("shmem put") };
+    }
+
+    /// Blocking get from `pe`'s copy of `slice` (`shmem_getmem`).
+    pub fn get<T: Copy>(&self, slice: SymSlice<T>, pe: usize, index: usize, dst: &mut [T]) {
+        assert!(index + dst.len() <= slice.len, "get out of bounds");
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, std::mem::size_of_val(dst))
+        };
+        // SAFETY: as in put.
+        unsafe { self.ep.get(pe, slice.byte_off(index), bytes).expect("shmem get") };
+    }
+
+    /// Single-element put (`shmem_p`).
+    pub fn p<T: Copy>(&self, slice: SymSlice<T>, pe: usize, index: usize, v: T) {
+        self.put(slice, pe, index, std::slice::from_ref(&v));
+    }
+
+    /// Single-element get (`shmem_g`).
+    pub fn g<T: Copy + Default>(&self, slice: SymSlice<T>, pe: usize, index: usize) -> T {
+        let mut out = [T::default(); 1];
+        self.get(slice, pe, index, &mut out);
+        out[0]
+    }
+
+    /// Remote atomic fetch-add on a `u64` slot (`shmem_atomic_fetch_add`).
+    pub fn atomic_fetch_add(&self, slice: SymSlice<u64>, pe: usize, index: usize, v: u64) -> u64 {
+        // Model the small-message round trip.
+        if pe != self.my_pe() {
+            self.ep.fabric().model().charge(16);
+        }
+        self.ep
+            .atomic_u64(pe, slice.byte_off(index))
+            .expect("aligned symmetric slot")
+            .fetch_add(v, Ordering::AcqRel)
+    }
+
+    /// Remote atomic add without fetch (`shmem_atomic_add`).
+    pub fn atomic_add(&self, slice: SymSlice<u64>, pe: usize, index: usize, v: u64) {
+        if pe != self.my_pe() {
+            self.ep.fabric().model().charge(8);
+        }
+        self.ep
+            .atomic_u64(pe, slice.byte_off(index))
+            .expect("aligned symmetric slot")
+            .fetch_add(v, Ordering::AcqRel);
+    }
+
+    /// Remote atomic compare-and-swap (`shmem_atomic_compare_swap`);
+    /// returns the previous value.
+    pub fn atomic_cswap(
+        &self,
+        slice: SymSlice<u64>,
+        pe: usize,
+        index: usize,
+        cond: u64,
+        v: u64,
+    ) -> u64 {
+        if pe != self.my_pe() {
+            self.ep.fabric().model().charge(24);
+        }
+        match self
+            .ep
+            .atomic_u64(pe, slice.byte_off(index))
+            .expect("aligned symmetric slot")
+            .compare_exchange(cond, v, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(prev) => prev,
+            Err(actual) => actual,
+        }
+    }
+
+    /// Direct local access to this PE's copy of a symmetric block.
+    ///
+    /// # Safety
+    /// No PE may write the block for the returned lifetime.
+    pub unsafe fn local_slice<T: Copy>(&self, slice: SymSlice<T>) -> &[T] {
+        let arena = self.ep.fabric().arena(self.my_pe()).expect("own arena");
+        // SAFETY: symmetric allocations are live and in bounds; caller
+        // provides synchronization.
+        unsafe {
+            std::slice::from_raw_parts(
+                arena.base_ptr().add(slice.offset) as *const T,
+                slice.len,
+            )
+        }
+    }
+
+    /// Mutable local access.
+    ///
+    /// # Safety
+    /// No PE may access the block for the returned lifetime.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn local_slice_mut<T: Copy>(&self, slice: SymSlice<T>) -> &mut [T] {
+        let arena = self.ep.fabric().arena(self.my_pe()).expect("own arena");
+        // SAFETY: as above, with exclusivity from the caller.
+        unsafe {
+            std::slice::from_raw_parts_mut(arena.base_ptr().add(slice.offset) as *mut T, slice.len)
+        }
+    }
+
+    /// Atomic view of a local/remote `u64` slot — used by the aggregation
+    /// libraries' flag protocols.
+    pub fn atomic_u64(&self, slice: SymSlice<u64>, pe: usize, index: usize) -> &std::sync::atomic::AtomicU64 {
+        self.ep.atomic_u64(pe, slice.byte_off(index)).expect("aligned symmetric slot")
+    }
+
+    /// Collective barrier (`shmem_barrier_all`).
+    pub fn barrier_all(&self) {
+        self.ep.barrier();
+    }
+
+    /// The fabric endpoint (for libraries layering on the raw transport).
+    pub fn endpoint(&self) -> &FabricPe {
+        &self.ep
+    }
+
+    /// Arena byte offset of a symmetric allocation (for libraries that
+    /// layer raw transports over symmetric memory).
+    pub fn sym_offset_of<T>(&self, s: SymSlice<T>) -> usize {
+        s.offset
+    }
+}
+
+/// SPMD launch of a SHMEM job: `f` runs once per PE on its own thread.
+pub fn shmem_launch<R, F>(num_pes: usize, sym_mb: usize, f: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(ShmemCtx) -> R + Send + Sync + 'static,
+{
+    let endpoints = Fabric::new(FabricConfig {
+        num_pes,
+        sym_len: sym_mb << 20,
+        heap_len: 1 << 20,
+        net: NetConfig::from_env(),
+    });
+    let world = Arc::new(ShmemWorld { sym_calls: Mutex::new(HashMap::new()) });
+    let f = Arc::new(f);
+    let handles: Vec<_> = endpoints
+        .into_iter()
+        .map(|ep| {
+            let world = Arc::clone(&world);
+            let f = Arc::clone(&f);
+            std::thread::Builder::new()
+                .name(format!("shmem-pe{}", ep.pe()))
+                .spawn(move || {
+                    f(ShmemCtx { ep, world, sym_seq: std::cell::Cell::new(0) })
+                })
+                .expect("spawn shmem pe")
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().expect("shmem PE panicked")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_alloc_same_offset_everywhere() {
+        let offs = shmem_launch(4, 4, |ctx| {
+            let a = ctx.shmem_malloc::<u64>(100);
+            let b = ctx.shmem_malloc::<u64>(50);
+            (a.offset, b.offset)
+        });
+        assert!(offs.windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(offs[0].0, offs[0].1);
+    }
+
+    #[test]
+    fn put_get_roundtrip_across_pes() {
+        shmem_launch(2, 4, |ctx| {
+            let buf = ctx.shmem_malloc::<u32>(8);
+            if ctx.my_pe() == 0 {
+                ctx.put(buf, 1, 2, &[7, 8, 9]);
+            }
+            ctx.barrier_all();
+            if ctx.my_pe() == 1 {
+                // SAFETY: writer finished before the barrier.
+                let local = unsafe { ctx.local_slice(buf) };
+                assert_eq!(&local[2..5], &[7, 8, 9]);
+            }
+            let v = ctx.g(buf, 1, 3);
+            assert_eq!(v, 8);
+            ctx.barrier_all();
+        });
+    }
+
+    #[test]
+    fn remote_atomics_are_exact() {
+        shmem_launch(4, 4, |ctx| {
+            let counter = ctx.shmem_malloc::<u64>(1);
+            for _ in 0..1000 {
+                ctx.atomic_add(counter, 0, 0, 1);
+            }
+            ctx.barrier_all();
+            if ctx.my_pe() == 0 {
+                // SAFETY: all adders finished before the barrier.
+                let local = unsafe { ctx.local_slice(counter) };
+                assert_eq!(local[0], 4000);
+            }
+            ctx.barrier_all();
+        });
+    }
+
+    #[test]
+    fn cswap_semantics() {
+        shmem_launch(2, 4, |ctx| {
+            let slot = ctx.shmem_malloc::<u64>(2);
+            if ctx.my_pe() == 1 {
+                assert_eq!(ctx.atomic_cswap(slot, 0, 0, 0, 42), 0); // success
+                assert_eq!(ctx.atomic_cswap(slot, 0, 0, 0, 43), 42); // fail
+                assert_eq!(ctx.g(slot, 0, 0), 42);
+            }
+            ctx.barrier_all();
+        });
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        shmem_launch(1, 4, |ctx| {
+            let slot = ctx.shmem_malloc::<u64>(1);
+            assert_eq!(ctx.atomic_fetch_add(slot, 0, 0, 5), 0);
+            assert_eq!(ctx.atomic_fetch_add(slot, 0, 0, 5), 5);
+            assert_eq!(ctx.g(slot, 0, 0), 10);
+        });
+    }
+}

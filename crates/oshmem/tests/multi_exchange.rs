@@ -1,0 +1,103 @@
+//! Regression tests for multi-instance exchange patterns: a PE blocked on
+//! one exchange's wire must never stop draining another's (the
+//! request/response deadlock fixed by Exstack2's non-blocking sends).
+
+use oshmem_sim::convey::Convey;
+use oshmem_sim::exstack2::Exstack2;
+use oshmem_sim::shmem_launch;
+
+#[derive(Clone, Copy, Default)]
+struct Req {
+    src: u32,
+    slot: u32,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Resp {
+    slot: u32,
+    val: u64,
+}
+
+/// Request/response over two conveyors with tiny wire buffers — the
+/// pattern that used to deadlock when sends blocked.
+#[test]
+fn convey_request_response_under_backpressure() {
+    shmem_launch(4, 16, |ctx| {
+        let n = ctx.n_pes();
+        let me = ctx.my_pe();
+        let total = 2_000usize;
+        // Small capacity forces constant wire backpressure.
+        let mut reqs = Convey::<Req>::new(&ctx, 32);
+        let mut reps = Convey::<Resp>::new(&ctx, 32);
+        let mut got = vec![0u64; total];
+        let mut pending = total;
+        let mut i = 0;
+        loop {
+            while i < total {
+                // Pseudo-random destinations, including self.
+                let dst = (i.wrapping_mul(2654435761) ^ me) % n;
+                reqs.push(&ctx, dst, Req { src: me as u32, slot: i as u32 });
+                i += 1;
+            }
+            let req_more = reqs.advance(&ctx, i == total);
+            while let Some(r) = reqs.pull() {
+                reps.push(
+                    &ctx,
+                    r.src as usize,
+                    Resp { slot: r.slot, val: 1000 + ctx.my_pe() as u64 },
+                );
+            }
+            let rep_more = reps.advance(&ctx, !req_more && i == total);
+            while let Some(r) = reps.pull() {
+                got[r.slot as usize] = r.val;
+                pending -= 1;
+            }
+            if !req_more && !rep_more && pending == 0 {
+                break;
+            }
+        }
+        // Every request produced exactly one response from its owner.
+        for (slot, &v) in got.iter().enumerate() {
+            let dst = (slot.wrapping_mul(2654435761) ^ me) % n;
+            assert_eq!(v, 1000 + dst as u64, "slot {slot}");
+        }
+        ctx.barrier_all();
+    });
+}
+
+/// Two independent exstack2 instances exchanging in opposite phases.
+#[test]
+fn two_exstack2_instances_interleave() {
+    shmem_launch(3, 16, |ctx| {
+        let n = ctx.n_pes();
+        let me = ctx.my_pe();
+        let mut a = Exstack2::<u64>::new(&ctx, 16);
+        let mut b = Exstack2::<u64>::new(&ctx, 16);
+        for k in 0..600u64 {
+            a.push(&ctx, (k as usize + me) % n, k);
+            b.push(&ctx, (k as usize * 3 + me) % n, 10_000 + k);
+        }
+        let mut got_a = 0usize;
+        let mut got_b = 0usize;
+        loop {
+            let ma = a.advance(&ctx, true);
+            while let Some((_s, v)) = a.pop() {
+                assert!(v < 10_000);
+                got_a += 1;
+            }
+            let mb = b.advance(&ctx, true);
+            while let Some((_s, v)) = b.pop() {
+                assert!(v >= 10_000);
+                got_b += 1;
+            }
+            if !ma && !mb {
+                break;
+            }
+        }
+        ctx.barrier_all();
+        // Conservation across the world is checked by the quiescence
+        // protocol itself; locally we at least got something on 3 PEs.
+        assert!(got_a + got_b > 0);
+        ctx.barrier_all();
+    });
+}

@@ -1,0 +1,127 @@
+//! Property tests over the aggregation libraries: arbitrary traffic
+//! patterns must be delivered exactly once, whatever the buffer capacity.
+
+use oshmem_sim::convey::Convey;
+use oshmem_sim::exstack::Exstack;
+use oshmem_sim::exstack2::Exstack2;
+use oshmem_sim::shmem_launch;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Run an all-to-all with a per-PE message plan; returns per-PE received
+/// (src, payload) multisets, which must match what was addressed to them.
+fn check_exactly_once(
+    npes: usize,
+    capacity: usize,
+    plan: Vec<(usize, u64)>, // (dst % npes, payload-id) issued by every PE
+    which: &'static str,
+) {
+    let plan = Arc::new(plan);
+    let plan2 = Arc::clone(&plan);
+    let received = shmem_launch(npes, 16, move |ctx| {
+        let n = ctx.n_pes();
+        let me = ctx.my_pe();
+        let mut got: Vec<(usize, u64)> = Vec::new();
+        match which {
+            "exstack" => {
+                let mut ex = Exstack::<u64>::new(&ctx, capacity);
+                let mut i = 0;
+                while ex.proceed(&ctx, i == plan2.len()) {
+                    while i < plan2.len() {
+                        let (dst, tag) = plan2[i];
+                        let payload = (me as u64) << 32 | tag;
+                        if !ex.push(dst % n, payload) {
+                            break;
+                        }
+                        i += 1;
+                    }
+                    ex.exchange(&ctx);
+                    while let Some((src, v)) = ex.pop(&ctx) {
+                        assert_eq!(src as u64, v >> 32);
+                        got.push((src, v & 0xffff_ffff));
+                    }
+                }
+            }
+            "exstack2" => {
+                let mut ex = Exstack2::<u64>::new(&ctx, capacity);
+                for &(dst, tag) in plan2.iter() {
+                    ex.push(&ctx, dst % n, (me as u64) << 32 | tag);
+                }
+                loop {
+                    let more = ex.advance(&ctx, true);
+                    while let Some((src, v)) = ex.pop() {
+                        assert_eq!(src as u64, v >> 32);
+                        got.push((src, v & 0xffff_ffff));
+                    }
+                    if !more {
+                        break;
+                    }
+                }
+            }
+            "convey" => {
+                let mut cv = Convey::<u64>::new(&ctx, capacity);
+                for &(dst, tag) in plan2.iter() {
+                    cv.push(&ctx, dst % n, (me as u64) << 32 | tag);
+                }
+                loop {
+                    let more = cv.advance(&ctx, true);
+                    while let Some(v) = cv.pull() {
+                        got.push(((v >> 32) as usize, v & 0xffff_ffff));
+                    }
+                    if !more {
+                        break;
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        ctx.barrier_all();
+        got
+    });
+    // Expected: PE d receives, from every source, exactly the tags whose
+    // dst % n == d.
+    for (d, got) in received.into_iter().enumerate() {
+        let mut got = got;
+        got.sort_unstable();
+        let mut expect: Vec<(usize, u64)> = (0..npes)
+            .flat_map(|src| {
+                plan.iter()
+                    .filter(|&&(dst, _)| dst % npes == d)
+                    .map(move |&(_, tag)| (src, tag))
+            })
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "{which}: PE {d} delivery mismatch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn exstack_delivers_exactly_once(
+        plan in prop::collection::vec((0usize..8, 0u64..10_000), 0..120),
+        capacity in 1usize..64,
+        npes in 2usize..5,
+    ) {
+        check_exactly_once(npes, capacity, plan, "exstack");
+    }
+
+    #[test]
+    fn exstack2_delivers_exactly_once(
+        plan in prop::collection::vec((0usize..8, 0u64..10_000), 0..120),
+        capacity in 1usize..64,
+        npes in 2usize..5,
+    ) {
+        check_exactly_once(npes, capacity, plan, "exstack2");
+    }
+
+    #[test]
+    fn convey_delivers_exactly_once(
+        plan in prop::collection::vec((0usize..8, 0u64..10_000), 0..120),
+        capacity in 1usize..64,
+        npes in 2usize..7,
+    ) {
+        check_exactly_once(npes, capacity, plan, "convey");
+    }
+}

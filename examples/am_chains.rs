@@ -1,0 +1,81 @@
+//! Active-message dependency chains and Darcs (paper Secs. III-C, III-E):
+//! a ring of nested AMs that carries a Darc around the world, mutating
+//! each PE's local instance as it passes — "users can easily construct AM
+//! dependency chains and use recursive design patterns".
+//!
+//! ```text
+//! cargo run --release --example am_chains
+//! LAMELLAR_PES=5 LAPS=3 cargo run --release --example am_chains
+//! ```
+
+use lamellar_core::darc::Darc;
+use lamellar_core::prelude::*;
+use lamellar_repro::util::env_usize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Hops around the ring, bumping each PE's local counter instance; when
+/// `hops` runs out it returns the trail of visited PEs.
+#[derive(Clone, Debug)]
+struct RingAm {
+    counter: Darc<AtomicUsize>,
+    hops: usize,
+    trail: Vec<usize>,
+}
+
+lamellar_core::impl_codec!(RingAm { counter, hops, trail });
+
+impl LamellarAm for RingAm {
+    type Output = Vec<usize>;
+    fn exec(self, ctx: AmContext) -> impl std::future::Future<Output = Vec<usize>> + Send {
+        async move {
+            // Each PE has its own *independent instance* behind the Darc;
+            // deref reaches the local one.
+            self.counter.fetch_add(1, Ordering::Relaxed);
+            let mut trail = self.trail;
+            trail.push(ctx.current_pe());
+            if self.hops == 0 {
+                trail
+            } else {
+                // Launch the next hop from inside this AM — a nested AM via
+                // the ambient world handle.
+                let next = (ctx.current_pe() + 1) % ctx.num_pes();
+                let world = ctx.world();
+                world
+                    .exec_am_pe(
+                        next,
+                        RingAm { counter: self.counter.clone(), hops: self.hops - 1, trail },
+                    )
+                    .await
+            }
+        }
+    }
+}
+
+fn main() {
+    let num_pes = env_usize("LAMELLAR_PES", 3);
+    let laps = env_usize("LAPS", 2);
+
+    launch(num_pes, move |world| {
+        let team = world.team();
+        let counter = Darc::new(&team, AtomicUsize::new(0));
+        world.barrier();
+
+        if world.my_pe() == 0 {
+            let hops = laps * world.num_pes();
+            let trail = world.block_on(world.exec_am_pe(
+                0,
+                RingAm { counter: counter.clone(), hops, trail: vec![] },
+            ));
+            println!("trail: {trail:?}");
+            assert_eq!(trail.len(), hops + 1);
+        }
+        world.barrier();
+
+        // Every PE was visited `laps` times, plus PE0's extra initial visit.
+        let mine = counter.load(Ordering::Relaxed);
+        let expect = laps + usize::from(world.my_pe() == 0);
+        assert_eq!(mine, expect);
+        println!("PE{}: local counter = {mine}", world.my_pe());
+        world.barrier();
+    });
+}

@@ -1,0 +1,49 @@
+//! Quickstart: the paper's Listing 1 "Hello World", adapted to this
+//! reproduction's thread-per-PE launcher.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! LAMELLAR_PES=4 cargo run --release --example quickstart
+//! ```
+
+use lamellar_core::active_messaging::prelude::*;
+
+// #[AmData] + #[am] in the paper; the am! macro here generates the struct,
+// its serialization, and the LamellarAm impl in one declaration.
+lamellar_core::am! {
+    /// Greets from whichever PE it lands on.
+    pub struct HelloWorldAm { pub name: String }
+    exec(am, ctx) -> String {
+        let line = format!("PE{}: hello {}!", ctx.current_pe(), am.name);
+        println!("{line}");
+        line
+    }
+}
+
+fn main() {
+    let num_pes = lamellar_repro::util::env_usize("LAMELLAR_PES", 2);
+
+    // The launcher plays the role slurm plays in the paper: it decides the
+    // number of PEs and runs this closure once per PE (SPMD).
+    launch(num_pes, |world| {
+        // Listing 1, line by line:
+        let am = HelloWorldAm { name: String::from("World") };
+        let request = world.exec_am_all(am); // all PEs → all PEs
+        let replies = world.block_on(request); // only blocks the local PE
+        world.barrier(); // global sync
+
+        if world.my_pe() == 0 {
+            println!("PE0 gathered {} replies", replies.len());
+        }
+
+        if world.my_pe() != 0 {
+            let am = HelloWorldAm { name: String::from("World2") };
+            let _detached = world.exec_am_pe(0, am); // send to PE0
+            world.wait_all(); // only blocks the local PE
+        }
+        // No explicit finalize: dropping `world` at the end of the closure
+        // runs the deinitialization protocol — every PE stays alive (and
+        // keeps executing incoming AMs) until all PEs are ready.
+    });
+    println!("world deinitialized cleanly");
+}

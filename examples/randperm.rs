@@ -1,0 +1,47 @@
+//! The Randperm kernel (paper Sec. IV-B.3): all four Lamellar variants
+//! side by side on the same problem, each verified to produce a true
+//! permutation.
+//!
+//! ```text
+//! cargo run --release --example randperm
+//! LAMELLAR_PES=4 PERM_PER_PE=50000 cargo run --release --example randperm
+//! ```
+
+use bale_suite::common::PermConfig;
+use bale_suite::randperm::{
+    randperm_am_darts, randperm_am_darts_opt, randperm_am_push, randperm_array_darts,
+};
+use lamellar_core::active_messaging::prelude::*;
+use lamellar_repro::util::env_usize;
+
+fn main() {
+    let num_pes = env_usize("LAMELLAR_PES", 2);
+    let perm_per_pe = env_usize("PERM_PER_PE", 20_000);
+    let cfg = PermConfig {
+        perm_per_pe,
+        target_per_pe: 2 * perm_per_pe,
+        batch: 4_096,
+        seed: 0xD1CE,
+    };
+
+    type Variant = (
+        &'static str,
+        fn(&LamellarWorld, &PermConfig) -> bale_suite::common::KernelResult,
+    );
+    let variants: [Variant; 4] = [
+        ("Array Darts ", randperm_array_darts),
+        ("AM Darts    ", randperm_am_darts),
+        ("AM Darts Opt", randperm_am_darts_opt),
+        ("AM Push     ", randperm_am_push),
+    ];
+
+    println!(
+        "randperm of {} elements over {num_pes} PEs (target 2x, verified permutations)",
+        perm_per_pe * num_pes
+    );
+    for (name, f) in variants {
+        let results = launch(num_pes, move |world| f(&world, &cfg));
+        let worst = results.iter().map(|r| r.elapsed).max().unwrap();
+        println!("  {name}  {worst:>12.3?}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Shared helpers for examples and integration tests.
+
+/// Parse a `NAME=value`-style env var with a default, used by examples to
+/// size workloads.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
