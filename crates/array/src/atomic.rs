@@ -36,7 +36,7 @@ impl<T: ArrayElem> AtomicArray<T> {
     /// Collectively construct a zero-initialized atomic array of `len`
     /// elements over `team`.
     pub fn new(team: &impl IntoTeam, len: usize, dist: Distribution) -> Self {
-        let team = team.into_team();
+        let team = team.to_team();
         let raw = RawArray::new(&team, len, dist, Access::Atomic, false);
         AtomicArray { raw, team, batch_limit: batch::DEFAULT_BATCH_LIMIT }
     }
@@ -45,7 +45,7 @@ impl<T: ArrayElem> AtomicArray<T> {
     /// atomic element types — the GenericAtomicArray sub-type, exposed for
     /// ablation.
     pub fn new_generic(team: &impl IntoTeam, len: usize, dist: Distribution) -> Self {
-        let team = team.into_team();
+        let team = team.to_team();
         let raw = RawArray::new(&team, len, dist, Access::Atomic, true);
         AtomicArray { raw, team, batch_limit: batch::DEFAULT_BATCH_LIMIT }
     }

@@ -168,11 +168,18 @@ mod tests {
 
     #[test]
     fn integers_are_native() {
-        assert!(usize::NATIVE_ATOMIC);
-        assert!(u8::NATIVE_ATOMIC);
-        assert!(i64::NATIVE_ATOMIC);
-        assert!(!f64::NATIVE_ATOMIC);
-        assert!(!u128::NATIVE_ATOMIC);
+        let natives = [
+            ("usize", usize::NATIVE_ATOMIC),
+            ("u8", u8::NATIVE_ATOMIC),
+            ("i64", i64::NATIVE_ATOMIC),
+        ];
+        let generics = [("f64", f64::NATIVE_ATOMIC), ("u128", u128::NATIVE_ATOMIC)];
+        for (name, native) in natives {
+            assert!(native, "{name} should use native atomics");
+        }
+        for (name, native) in generics {
+            assert!(!native, "{name} should fall back to the generic path");
+        }
     }
 
     #[test]

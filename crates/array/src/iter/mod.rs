@@ -123,7 +123,7 @@ impl<In, I: ItemFn<In>> ItemFn<In> for SkipFn<I> {
 impl<In, I: ItemFn<In>> ItemFn<In> for StepByFn<I> {
     type Out = I::Out;
     fn apply(&self, index: usize, v: In) -> Option<I::Out> {
-        (index % self.step == 0).then(|| self.inner.apply(index, v)).flatten()
+        index.is_multiple_of(self.step).then(|| self.inner.apply(index, v)).flatten()
     }
 }
 
@@ -473,6 +473,9 @@ impl<T: ArrayElem> OneSidedIter<T> {
     }
 
     /// Convert into a standard boxed iterator (`into_iter()` in the paper).
+    /// The paper spells this as an inherent method, hence the trait-shadowing
+    /// name; the type is also an [`Iterator`] itself.
+    #[allow(clippy::should_implement_trait)]
     pub fn into_iter(self) -> impl Iterator<Item = T> {
         self
     }

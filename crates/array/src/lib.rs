@@ -60,17 +60,17 @@ use lamellar_core::team::LamellarTeam;
 /// [`LamellarTeam`].
 pub trait IntoTeam {
     /// The team the array will be distributed over.
-    fn into_team(&self) -> LamellarTeam;
+    fn to_team(&self) -> LamellarTeam;
 }
 
 impl IntoTeam for lamellar_core::world::LamellarWorld {
-    fn into_team(&self) -> LamellarTeam {
+    fn to_team(&self) -> LamellarTeam {
         self.team()
     }
 }
 
 impl IntoTeam for LamellarTeam {
-    fn into_team(&self) -> LamellarTeam {
+    fn to_team(&self) -> LamellarTeam {
         self.clone()
     }
 }

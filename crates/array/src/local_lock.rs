@@ -60,7 +60,7 @@ impl<T: ArrayElem> LocalLockArray<T> {
     /// Collectively construct a zero-initialized array of `len` elements
     /// over `team`.
     pub fn new(team: &impl IntoTeam, len: usize, dist: Distribution) -> Self {
-        let team = team.into_team();
+        let team = team.to_team();
         let raw = RawArray::new(&team, len, dist, Access::LocalLock, false);
         LocalLockArray { raw, team, batch_limit: batch::DEFAULT_BATCH_LIMIT }
     }

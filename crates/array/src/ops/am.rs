@@ -13,7 +13,6 @@ use crate::ops::{apply, AccessOp, ArithOp, BatchValues, BitOp};
 use lamellar_codec::{Codec, CodecError, Reader};
 use lamellar_core::am::LamellarAm;
 use lamellar_core::runtime::AmContext;
-use std::future::Future;
 
 macro_rules! impl_am_codec {
     ($name:ident<$g:ident> { $($field:ident),+ $(,)? }) => {
@@ -42,13 +41,9 @@ impl_am_codec!(ArithBatchAm<T> { raw, op, idxs, vals, fetch });
 
 impl<T: ArithElem> LamellarAm for ArithBatchAm<T> {
     type Output = Vec<T>;
-    fn exec(self, _ctx: AmContext) -> impl Future<Output = Vec<T>> + Send {
-        async move {
-            let op = self.op;
-            apply::apply_rmw(&self.raw, &self.idxs, &self.vals, self.fetch, |c, v| {
-                op.apply(c, v)
-            })
-        }
+    async fn exec(self, _ctx: AmContext) -> Vec<T> {
+        let op = self.op;
+        apply::apply_rmw(&self.raw, &self.idxs, &self.vals, self.fetch, |c, v| op.apply(c, v))
     }
 }
 
@@ -65,13 +60,9 @@ impl_am_codec!(BitBatchAm<T> { raw, op, idxs, vals, fetch });
 
 impl<T: BitElem> LamellarAm for BitBatchAm<T> {
     type Output = Vec<T>;
-    fn exec(self, _ctx: AmContext) -> impl Future<Output = Vec<T>> + Send {
-        async move {
-            let op = self.op;
-            apply::apply_rmw(&self.raw, &self.idxs, &self.vals, self.fetch, |c, v| {
-                op.apply(c, v)
-            })
-        }
+    async fn exec(self, _ctx: AmContext) -> Vec<T> {
+        let op = self.op;
+        apply::apply_rmw(&self.raw, &self.idxs, &self.vals, self.fetch, |c, v| op.apply(c, v))
     }
 }
 
@@ -89,16 +80,14 @@ impl_am_codec!(AccessBatchAm<T> { raw, op, idxs, vals, fetch });
 
 impl<T: ArrayElem> LamellarAm for AccessBatchAm<T> {
     type Output = Vec<T>;
-    fn exec(self, _ctx: AmContext) -> impl Future<Output = Vec<T>> + Send {
-        async move {
-            match self.op {
-                AccessOp::Load => apply::apply_load(&self.raw, &self.idxs),
-                AccessOp::Store | AccessOp::Swap => {
-                    let vals = self.vals.expect("store/swap carries values");
-                    // Swap ≡ fetch-store.
-                    let fetch = self.fetch || self.op == AccessOp::Swap;
-                    apply::apply_rmw(&self.raw, &self.idxs, &vals, fetch, |_c, v| v)
-                }
+    async fn exec(self, _ctx: AmContext) -> Vec<T> {
+        match self.op {
+            AccessOp::Load => apply::apply_load(&self.raw, &self.idxs),
+            AccessOp::Store | AccessOp::Swap => {
+                let vals = self.vals.expect("store/swap carries values");
+                // Swap ≡ fetch-store.
+                let fetch = self.fetch || self.op == AccessOp::Swap;
+                apply::apply_rmw(&self.raw, &self.idxs, &vals, fetch, |_c, v| v)
             }
         }
     }
@@ -115,8 +104,8 @@ impl_am_codec!(CasBatchAm<T> { raw, idxs, pairs });
 
 impl<T: ArrayElem> LamellarAm for CasBatchAm<T> {
     type Output = Vec<Result<T, T>>;
-    fn exec(self, _ctx: AmContext) -> impl Future<Output = Vec<Result<T, T>>> + Send {
-        async move { apply::apply_cas(&self.raw, &self.idxs, &self.pairs) }
+    async fn exec(self, _ctx: AmContext) -> Vec<Result<T, T>> {
+        apply::apply_cas(&self.raw, &self.idxs, &self.pairs)
     }
 }
 
@@ -132,8 +121,8 @@ impl_am_codec!(RangePutAm<T> { raw, start, vals });
 
 impl<T: ArrayElem> LamellarAm for RangePutAm<T> {
     type Output = ();
-    fn exec(self, _ctx: AmContext) -> impl Future<Output = ()> + Send {
-        async move { apply::apply_range_put(&self.raw, self.start, &self.vals) }
+    async fn exec(self, _ctx: AmContext) {
+        apply::apply_range_put(&self.raw, self.start, &self.vals)
     }
 }
 
@@ -148,7 +137,7 @@ impl_am_codec!(RangeGetAm<T> { raw, start, n });
 
 impl<T: ArrayElem> LamellarAm for RangeGetAm<T> {
     type Output = Vec<T>;
-    fn exec(self, _ctx: AmContext) -> impl Future<Output = Vec<T>> + Send {
-        async move { apply::apply_range_get(&self.raw, self.start, self.n) }
+    async fn exec(self, _ctx: AmContext) -> Vec<T> {
+        apply::apply_range_get(&self.raw, self.start, self.n)
     }
 }

@@ -121,6 +121,7 @@ where
     // One handle list per rank, each holding that rank's sub-batches in
     // order so concatenation preserves per-rank positions.
     let mut handles: Vec<Vec<AmHandle<Vec<R>>>> = Vec::with_capacity(bins.len());
+    let mut sub_batches = 0u64;
     for (rank, (bin, pos)) in bins.into_iter().zip(&input_pos).enumerate() {
         let mut rank_handles = Vec::new();
         if !bin.is_empty() {
@@ -130,11 +131,13 @@ where
                 let end = (start + limit).min(bin.len());
                 let am = make(bin[start..end].to_vec(), &pos[start..end]);
                 rank_handles.push(rt.exec_am_pe(pe, am));
+                sub_batches += 1;
                 start = end;
             }
         }
         handles.push(rank_handles);
     }
+    rt.am_metrics().record_sub_batches(sub_batches);
     Box::pin(async move {
         let mut per_rank: Vec<Vec<R>> = Vec::with_capacity(handles.len());
         for rank_handles in handles {

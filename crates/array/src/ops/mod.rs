@@ -174,69 +174,6 @@ pub(crate) fn normalize_batch<T: ArrayElem>(
     (indices, values)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn arith_ops_apply() {
-        assert_eq!(ArithOp::Add.apply(10u64, 3), 13);
-        assert_eq!(ArithOp::Sub.apply(10u64, 3), 7);
-        assert_eq!(ArithOp::Mul.apply(10u64, 3), 30);
-        assert_eq!(ArithOp::Div.apply(10u64, 3), 3);
-        assert_eq!(ArithOp::Rem.apply(10u64, 3), 1);
-        assert_eq!(ArithOp::Add.apply(1.5f64, 0.25), 1.75);
-    }
-
-    #[test]
-    fn bit_ops_apply() {
-        assert_eq!(BitOp::And.apply(0b1100u32, 0b1010), 0b1000);
-        assert_eq!(BitOp::Or.apply(0b1100u32, 0b1010), 0b1110);
-        assert_eq!(BitOp::Xor.apply(0b1100u32, 0b1010), 0b0110);
-        assert_eq!(BitOp::Shl.apply(1u32, 4), 16);
-        assert_eq!(BitOp::Shr.apply(16u32, 2), 4);
-    }
-
-    #[test]
-    fn batch_values_forms() {
-        let one: BatchValues<u32> = 5.into();
-        assert_eq!(one.value_at(0), 5);
-        assert_eq!(one.value_at(99), 5);
-        assert_eq!(one.explicit_len(), None);
-        let many: BatchValues<u32> = vec![1, 2, 3].into();
-        assert_eq!(many.value_at(1), 2);
-        assert_eq!(many.explicit_len(), Some(3));
-    }
-
-    #[test]
-    fn normalize_one_index_many_values() {
-        let (idxs, vals) = normalize_batch::<u32>(vec![7], vec![1, 2, 3].into());
-        assert_eq!(idxs, vec![7, 7, 7]);
-        assert_eq!(vals, BatchValues::Many(vec![1, 2, 3]));
-    }
-
-    #[test]
-    #[should_panic(expected = "one value per index")]
-    fn normalize_rejects_mismatched_lengths() {
-        let _ = normalize_batch::<u32>(vec![1, 2, 3], vec![1, 2].into());
-    }
-
-    #[test]
-    fn op_enums_roundtrip() {
-        for op in [ArithOp::Add, ArithOp::Rem] {
-            assert_eq!(ArithOp::from_bytes(&op.to_bytes()).unwrap(), op);
-        }
-        for op in [BitOp::And, BitOp::Shr] {
-            assert_eq!(BitOp::from_bytes(&op.to_bytes()).unwrap(), op);
-        }
-        for op in [AccessOp::Load, AccessOp::Swap] {
-            assert_eq!(AccessOp::from_bytes(&op.to_bytes()).unwrap(), op);
-        }
-        let bv: BatchValues<u64> = vec![9, 8].into();
-        assert_eq!(BatchValues::from_bytes(&bv.to_bytes()).unwrap(), bv);
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Method-surface macros: generate the full element-wise operator API on a
 // typed array (paper Sec. III-F.3). The wrapper type must expose fields
@@ -484,3 +421,66 @@ macro_rules! impl_array_common {
     };
 }
 pub(crate) use impl_array_common;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arith_ops_apply() {
+        assert_eq!(ArithOp::Add.apply(10u64, 3), 13);
+        assert_eq!(ArithOp::Sub.apply(10u64, 3), 7);
+        assert_eq!(ArithOp::Mul.apply(10u64, 3), 30);
+        assert_eq!(ArithOp::Div.apply(10u64, 3), 3);
+        assert_eq!(ArithOp::Rem.apply(10u64, 3), 1);
+        assert_eq!(ArithOp::Add.apply(1.5f64, 0.25), 1.75);
+    }
+
+    #[test]
+    fn bit_ops_apply() {
+        assert_eq!(BitOp::And.apply(0b1100u32, 0b1010), 0b1000);
+        assert_eq!(BitOp::Or.apply(0b1100u32, 0b1010), 0b1110);
+        assert_eq!(BitOp::Xor.apply(0b1100u32, 0b1010), 0b0110);
+        assert_eq!(BitOp::Shl.apply(1u32, 4), 16);
+        assert_eq!(BitOp::Shr.apply(16u32, 2), 4);
+    }
+
+    #[test]
+    fn batch_values_forms() {
+        let one: BatchValues<u32> = 5.into();
+        assert_eq!(one.value_at(0), 5);
+        assert_eq!(one.value_at(99), 5);
+        assert_eq!(one.explicit_len(), None);
+        let many: BatchValues<u32> = vec![1, 2, 3].into();
+        assert_eq!(many.value_at(1), 2);
+        assert_eq!(many.explicit_len(), Some(3));
+    }
+
+    #[test]
+    fn normalize_one_index_many_values() {
+        let (idxs, vals) = normalize_batch::<u32>(vec![7], vec![1, 2, 3].into());
+        assert_eq!(idxs, vec![7, 7, 7]);
+        assert_eq!(vals, BatchValues::Many(vec![1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per index")]
+    fn normalize_rejects_mismatched_lengths() {
+        let _ = normalize_batch::<u32>(vec![1, 2, 3], vec![1, 2].into());
+    }
+
+    #[test]
+    fn op_enums_roundtrip() {
+        for op in [ArithOp::Add, ArithOp::Rem] {
+            assert_eq!(ArithOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+        for op in [BitOp::And, BitOp::Shr] {
+            assert_eq!(BitOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+        for op in [AccessOp::Load, AccessOp::Swap] {
+            assert_eq!(AccessOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+        let bv: BatchValues<u64> = vec![9, 8].into();
+        assert_eq!(BatchValues::from_bytes(&bv.to_bytes()).unwrap(), bv);
+    }
+}

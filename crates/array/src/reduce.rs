@@ -70,15 +70,12 @@ impl<T: ArrayElem> Codec for ReduceAm<T> {
 
 impl<T: ArithElem> LamellarAm for ReduceAm<T> {
     type Output = Option<T>;
-    fn exec(self, _ctx: AmContext) -> impl Future<Output = Option<T>> + Send {
-        async move {
-            let rank = self.raw.my_rank();
-            let locals: Vec<usize> =
-                self.raw.local_view_indices(rank).map(|(l, _)| l).collect();
-            // Access-mode-respecting snapshot, then a pure fold.
-            let vals = apply::apply_load(&self.raw, &locals);
-            vals.into_iter().reduce(|a, b| self.op.combine(a, b))
-        }
+    async fn exec(self, _ctx: AmContext) -> Option<T> {
+        let rank = self.raw.my_rank();
+        let locals: Vec<usize> = self.raw.local_view_indices(rank).map(|(l, _)| l).collect();
+        // Access-mode-respecting snapshot, then a pure fold.
+        let vals = apply::apply_load(&self.raw, &locals);
+        vals.into_iter().reduce(|a, b| self.op.combine(a, b))
     }
 }
 

@@ -33,7 +33,7 @@ impl<T: ArrayElem> UnsafeArray<T> {
     /// distributed over `team` ("constructing an array is a blocking and
     /// collective operation with all PEs on a team").
     pub fn new(team: &impl IntoTeam, len: usize, dist: Distribution) -> Self {
-        let team = team.into_team();
+        let team = team.to_team();
         let raw = RawArray::new(&team, len, dist, Access::Unsafe, false);
         UnsafeArray { raw, team, batch_limit: batch::DEFAULT_BATCH_LIMIT }
     }

@@ -93,7 +93,7 @@ fn empty_and_full_sub_arrays() {
 fn out_of_bounds_single_op_panics() {
     let world = lamellar_core::world::LamellarWorldBuilder::new().build();
     let arr = AtomicArray::<u64>::new(&world, 4, Distribution::Block);
-    let _ = arr.load(4); // index == len
+    drop(arr.load(4)); // index == len; panics before a future exists
 }
 
 #[test]

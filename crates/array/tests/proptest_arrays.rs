@@ -12,7 +12,8 @@ fn run_oracle(dist: Distribution, len: usize, ops: Vec<(usize, u64)>, use_local_
     let outcome = launch(2, move |world| {
         let idxs: Vec<usize> = ops2.iter().map(|&(i, _)| i % len).collect();
         let vals: Vec<u64> = ops2.iter().map(|&(_, v)| v % 1000).collect();
-        let result = if use_local_lock {
+        
+        if use_local_lock {
             let arr = LocalLockArray::<u64>::new(&world, len, dist);
             world.barrier();
             if world.my_pe() == 0 {
@@ -34,8 +35,7 @@ fn run_oracle(dist: Distribution, len: usize, ops: Vec<(usize, u64)>, use_local_
             let out = world.block_on(arr.get(0, len));
             world.barrier();
             out
-        };
-        result
+        }
     });
     // Sequential oracle.
     let mut oracle = vec![0u64; len];

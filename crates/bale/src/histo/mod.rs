@@ -28,11 +28,9 @@ lamellar_core::impl_codec!(HistoBufAm { table, idxs });
 
 impl LamellarAm for HistoBufAm {
     type Output = ();
-    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = ()> + Send {
-        async move {
-            for &i in &self.idxs {
-                self.table[i as usize].fetch_add(1, Ordering::Relaxed);
-            }
+    async fn exec(self, _ctx: AmContext) {
+        for &i in &self.idxs {
+            self.table[i as usize].fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -48,8 +46,8 @@ lamellar_core::impl_codec!(ShardSumAm { table });
 
 impl LamellarAm for ShardSumAm {
     type Output = usize;
-    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = usize> + Send {
-        async move { self.table.iter().map(|a| a.load(Ordering::Relaxed)).sum() }
+    async fn exec(self, _ctx: AmContext) -> usize {
+        self.table.iter().map(|a| a.load(Ordering::Relaxed)).sum()
     }
 }
 

@@ -37,8 +37,8 @@ lamellar_core::impl_codec!(IgBufAm { table, idxs });
 
 impl LamellarAm for IgBufAm {
     type Output = Vec<u64>;
-    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = Vec<u64>> + Send {
-        async move { self.idxs.iter().map(|&i| self.table[i as usize]).collect() }
+    async fn exec(self, _ctx: AmContext) -> Vec<u64> {
+        self.idxs.iter().map(|&i| self.table[i as usize]).collect()
     }
 }
 

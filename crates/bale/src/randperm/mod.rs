@@ -143,16 +143,14 @@ lamellar_core::impl_codec!(ThrowAm { shard, slots, darts });
 
 impl LamellarAm for ThrowAm {
     type Output = Vec<u64>;
-    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = Vec<u64>> + Send {
-        async move {
-            let mut rejects = Vec::new();
-            for (&slot, &dart) in self.slots.iter().zip(&self.darts) {
-                if !self.shard.try_stick(slot as usize, dart) {
-                    rejects.push(dart);
-                }
+    async fn exec(self, _ctx: AmContext) -> Vec<u64> {
+        let mut rejects = Vec::new();
+        for (&slot, &dart) in self.slots.iter().zip(&self.darts) {
+            if !self.shard.try_stick(slot as usize, dart) {
+                rejects.push(dart);
             }
-            rejects
         }
+        rejects
     }
 }
 
@@ -174,26 +172,24 @@ lamellar_core::impl_codec!(ThrowOptAm { shard, slots, darts, seed });
 
 impl LamellarAm for ThrowOptAm {
     type Output = Vec<u64>;
-    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = Vec<u64>> + Send {
-        async move {
-            let len = self.shard.slots.len();
-            let mut rng = SplitMix64::new(self.seed, 0);
-            let mut rejects = Vec::new();
-            'darts: for (&slot, &dart) in self.slots.iter().zip(&self.darts) {
-                if self.shard.try_stick(slot as usize, dart) {
-                    continue;
-                }
-                // "randomly select a new location on the current PE
-                // (unless all locations on this PE are filled)".
-                while self.shard.filled.load(Ordering::Relaxed) < len {
-                    if self.shard.try_stick(rng.below(len), dart) {
-                        continue 'darts;
-                    }
-                }
-                rejects.push(dart);
+    async fn exec(self, _ctx: AmContext) -> Vec<u64> {
+        let len = self.shard.slots.len();
+        let mut rng = SplitMix64::new(self.seed, 0);
+        let mut rejects = Vec::new();
+        'darts: for (&slot, &dart) in self.slots.iter().zip(&self.darts) {
+            if self.shard.try_stick(slot as usize, dart) {
+                continue;
             }
-            rejects
+            // "randomly select a new location on the current PE
+            // (unless all locations on this PE are filled)".
+            while self.shard.filled.load(Ordering::Relaxed) < len {
+                if self.shard.try_stick(rng.below(len), dart) {
+                    continue 'darts;
+                }
+            }
+            rejects.push(dart);
         }
+        rejects
     }
 }
 
@@ -210,10 +206,8 @@ lamellar_core::impl_codec!(PushAm { list, darts });
 
 impl LamellarAm for PushAm {
     type Output = ();
-    fn exec(self, _ctx: AmContext) -> impl std::future::Future<Output = ()> + Send {
-        async move {
-            self.list.lock().extend_from_slice(&self.darts);
-        }
+    async fn exec(self, _ctx: AmContext) {
+        self.list.lock().extend_from_slice(&self.darts);
     }
 }
 

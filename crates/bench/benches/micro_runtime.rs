@@ -11,6 +11,12 @@ use rofi_sim::fabric::{Fabric, FabricConfig};
 use rofi_sim::NetConfig;
 use std::sync::Arc;
 
+/// Metrics on/off follows the runtime's own switch (`LAMELLAR_METRICS=0`
+/// disables), so the disabled-path overhead can be measured directly.
+fn metrics_enabled() -> bool {
+    std::env::var("LAMELLAR_METRICS").map(|v| v != "0").unwrap_or(true)
+}
+
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
     group.sample_size(30);
@@ -35,7 +41,9 @@ fn bench_codec(c: &mut Criterion) {
 fn bench_executor(c: &mut Criterion) {
     let mut group = c.benchmark_group("executor");
     group.sample_size(20);
-    let pool = ThreadPool::new(PoolConfig::with_workers(2));
+    let mut cfg = PoolConfig::with_workers(2);
+    cfg.metrics = metrics_enabled();
+    let pool = ThreadPool::new(cfg);
 
     group.bench_function("spawn_await_roundtrip", |b| {
         b.iter(|| {
@@ -65,16 +73,17 @@ fn bench_wire(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_queue");
     group.sample_size(20);
     let buf_size = 64 << 10;
-    let endpoints = Fabric::new(FabricConfig {
+    let endpoints = Fabric::launch(FabricConfig {
         num_pes: 2,
         sym_len: queue_footprint(2, buf_size) + 4096,
         heap_len: 4096,
         net: NetConfig::disabled(),
+        metrics: metrics_enabled(),
     });
     let base = endpoints[0].fabric().alloc_symmetric(queue_footprint(2, buf_size), 64).unwrap();
     let qs: Vec<Arc<QueueTransport>> = endpoints
         .into_iter()
-        .map(|ep| Arc::new(QueueTransport::new(ep, base, buf_size, 1)))
+        .map(|ep| Arc::new(QueueTransport::with_metrics(ep, base, buf_size, 1, metrics_enabled())))
         .collect();
 
     for size in [64usize, 4096] {

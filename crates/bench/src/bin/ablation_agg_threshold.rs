@@ -41,7 +41,7 @@ fn main() {
                 .agg_threshold(thresh);
             let results = launch_with_config(wc, move |world| {
                 let r = histo_lamellar_am(&world, &cfg);
-                (r, world.net_stats().0)
+                (r, world.stats().fabric.puts)
             });
             let worst = results.iter().map(|(r, _)| r.elapsed).max().unwrap();
             let puts = results[0].1; // fabric-global counter

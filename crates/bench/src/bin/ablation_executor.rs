@@ -73,6 +73,7 @@ fn main() {
             workers,
             single_queue: single,
             thread_name: format!("abl-{label}"),
+            metrics: false,
         }));
         let flat = flat_burst(&pool, tasks);
         let tree = recursive_tree(Arc::clone(&pool), depth);

@@ -49,11 +49,12 @@ fn transfers_for(size: usize, budget: usize) -> usize {
 /// The "Rofi(libfabric)" series: raw shim puts with manual termination
 /// detection (pattern + barrier), measured on a standalone 2-PE fabric.
 fn rofi_series(sizes: &[usize], budget: usize) -> Vec<f64> {
-    let mut eps = Fabric::new(FabricConfig {
+    let mut eps = Fabric::launch(FabricConfig {
         num_pes: 2,
         sym_len: (*sizes.last().unwrap() + 4096).next_power_of_two(),
         heap_len: 4096,
         net: NetConfig::from_env(),
+        metrics: true,
     });
     let r1 = Rofi::init(eps.pop().unwrap());
     let r0 = Rofi::init(eps.pop().unwrap());

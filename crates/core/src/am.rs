@@ -237,8 +237,8 @@ mod tests {
 
     impl LamellarAm for PingAm {
         type Output = u64;
-        fn exec(self, _ctx: AmContext) -> impl Future<Output = u64> + Send {
-            async move { self.x + 1 }
+        async fn exec(self, _ctx: AmContext) -> u64 {
+            self.x + 1
         }
     }
 

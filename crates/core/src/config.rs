@@ -40,6 +40,12 @@ pub struct WorldConfig {
     pub sym_len: usize,
     /// One-sided dynamic heap bytes per PE.
     pub heap_len: usize,
+    /// Enable the runtime-wide observability layer: lock-free counters and
+    /// histograms in every layer (fabric, lamellae, executor, AM), read
+    /// back through [`crate::world::LamellarWorld::stats`]. When false the
+    /// registries still exist but every record is a single predictable
+    /// branch — effectively free.
+    pub metrics: bool,
 }
 
 /// The paper's default aggregation threshold (100 KiB).
@@ -49,12 +55,14 @@ impl WorldConfig {
     /// Defaults for `num_pes` PEs with the Rofi backend (Shmem if you want
     /// no cost model — but the model is off by default anyway). Environment
     /// overrides, mirroring the real runtime's env-driven builder:
-    /// `LAMELLAR_THREADS` (worker threads per PE) and
-    /// `LAMELLAR_OP_BATCH` / `LAMELLAR_AGG_THRESHOLD` (bytes).
+    /// `LAMELLAR_THREADS` (worker threads per PE),
+    /// `LAMELLAR_OP_BATCH` / `LAMELLAR_AGG_THRESHOLD` (bytes), and
+    /// `LAMELLAR_METRICS` (`0` disables the observability counters).
     pub fn new(num_pes: usize) -> Self {
         let env = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok());
         let threads = env("LAMELLAR_THREADS").unwrap_or(2);
         let agg = env("LAMELLAR_AGG_THRESHOLD").unwrap_or(DEFAULT_AGG_THRESHOLD);
+        let metrics = std::env::var("LAMELLAR_METRICS").map(|v| v != "0").unwrap_or(true);
         WorldConfig {
             num_pes,
             backend: if num_pes == 1 { Backend::Smp } else { Backend::Rofi },
@@ -63,6 +71,7 @@ impl WorldConfig {
             buffer_size: agg * 2,
             sym_len: 0, // resolved by `resolve`
             heap_len: 32 << 20,
+            metrics,
         }
     }
 
@@ -111,6 +120,13 @@ impl WorldConfig {
     /// Set the one-sided heap size per PE (bytes).
     pub fn heap_len(mut self, s: usize) -> Self {
         self.heap_len = s;
+        self
+    }
+
+    /// Enable or disable the observability counters
+    /// ([`crate::world::LamellarWorld::stats`]).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
         self
     }
 }

@@ -23,6 +23,7 @@ use crate::runtime::current_rt;
 use crate::team::LamellarTeam;
 use crate::world::WorldShared;
 use lamellar_codec::{Codec, CodecError, Reader};
+use lamellar_metrics::AmMetrics;
 use std::any::Any;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,6 +63,9 @@ pub struct Darc<T: Send + Sync + 'static> {
     state: Arc<DarcState<T>>,
     /// Team rank of the PE holding this handle.
     rank: usize,
+    /// This PE's AM-layer metrics registry: Darc lifecycle events (group
+    /// creation, local count reaching zero) are recorded here.
+    metrics: Arc<AmMetrics>,
 }
 
 impl<T: Send + Sync + 'static> Darc<T> {
@@ -95,7 +99,9 @@ impl<T: Send + Sync + 'static> Darc<T> {
         }
         // Registration must be visible before any PE can serialize the darc.
         team.barrier();
-        Darc { state, rank: team.my_rank() }
+        let metrics = Arc::clone(rt.am_metrics());
+        metrics.record_darc_created();
+        Darc { state, rank: team.my_rank(), metrics }
     }
 
     /// The id under which this Darc is registered (diagnostics).
@@ -134,13 +140,18 @@ impl<T: Send + Sync + 'static> Clone for Darc<T> {
     fn clone(&self) -> Self {
         // "Reference counting occurs as normal during Clone."
         self.state.counts[self.rank].fetch_add(1, Ordering::AcqRel);
-        Darc { state: Arc::clone(&self.state), rank: self.rank }
+        Darc { state: Arc::clone(&self.state), rank: self.rank, metrics: Arc::clone(&self.metrics) }
     }
 }
 
 impl<T: Send + Sync + 'static> Drop for Darc<T> {
     fn drop(&mut self) {
-        self.state.counts[self.rank].fetch_sub(1, Ordering::AcqRel);
+        if self.state.counts[self.rank].fetch_sub(1, Ordering::AcqRel) == 1 {
+            // This PE's local count reached zero — a lifecycle event worth
+            // observing (the group itself may live on via other PEs or
+            // in-flight pins).
+            self.metrics.record_darc_dropped();
+        }
         // When this was the globally-last handle and no serialized
         // reference is in flight, the enclosing Arc chain unwinds and
         // DarcState::drop deregisters the id. No explicit protocol needed:
@@ -176,7 +187,8 @@ impl<T: Send + Sync + 'static> Codec for Darc<T> {
         state.counts[rank].fetch_add(1, Ordering::AcqRel);
         // Release the in-flight pin now that a live handle exists here.
         shared.unpin_trackable(id);
-        Ok(Darc { state, rank })
+        let metrics = Arc::clone(rt.am_metrics());
+        Ok(Darc { state, rank, metrics })
     }
 }
 

@@ -12,6 +12,7 @@
 use crate::config::Backend;
 use crate::lamellae::queue::QueueTransport;
 use crate::lamellae::Lamellae;
+use lamellar_metrics::{FabricStats, LamellaeStats};
 use rofi_sim::FabricPe;
 
 /// A Lamellae over the simulated fabric.
@@ -32,7 +33,21 @@ impl FabricLamellae {
         buffer_size: usize,
         agg_threshold: usize,
     ) -> Self {
-        let queues = QueueTransport::new(ep.clone(), queue_base, buffer_size, agg_threshold);
+        Self::with_metrics(ep, backend, queue_base, buffer_size, agg_threshold, true)
+    }
+
+    /// [`FabricLamellae::new`] with explicit control over observability
+    /// counters (threaded down from `WorldConfig::metrics`).
+    pub fn with_metrics(
+        ep: FabricPe,
+        backend: Backend,
+        queue_base: usize,
+        buffer_size: usize,
+        agg_threshold: usize,
+        metrics: bool,
+    ) -> Self {
+        let queues =
+            QueueTransport::with_metrics(ep.clone(), queue_base, buffer_size, agg_threshold, metrics);
         FabricLamellae { ep, queues, backend }
     }
 
@@ -76,7 +91,7 @@ impl Lamellae for FabricLamellae {
     }
 
     fn barrier_with(&self, progress: &mut dyn FnMut()) {
-        self.ep.barrier_with_progress(|| progress());
+        self.ep.barrier_with_progress(progress);
     }
 
     fn alloc_symmetric(&self, size: usize, align: usize) -> usize {
@@ -125,8 +140,12 @@ impl Lamellae for FabricLamellae {
         self.ep.fabric().set_progress_delay_ns(ns);
     }
 
-    fn net_stats(&self) -> (u64, u64, u64) {
+    fn fabric_stats(&self) -> FabricStats {
         self.ep.fabric().stats()
+    }
+
+    fn lamellae_stats(&self) -> LamellaeStats {
+        self.queues.stats()
     }
 }
 

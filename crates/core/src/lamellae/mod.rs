@@ -28,6 +28,7 @@ pub use fabric_backend::FabricLamellae;
 pub use smp::SmpLamellae;
 
 use crate::config::Backend;
+use lamellar_metrics::{FabricStats, LamellaeStats};
 
 /// The interface between the runtime and a network backend.
 ///
@@ -109,11 +110,18 @@ pub trait Lamellae: Send + Sync + 'static {
     /// nanoseconds. Default no-op for backends without the hook.
     fn inject_progress_delay(&self, _ns: u64) {}
 
-    /// Cumulative fabric traffic as `(puts, gets, bytes_moved)` — includes
-    /// every PE's transfers (the counters are fabric-global). Used by the
-    /// aggregation ablation to show message counts falling as the
-    /// threshold rises.
-    fn net_stats(&self) -> (u64, u64, u64) {
-        (0, 0, 0)
+    /// Typed snapshot of the fabric-layer counters (puts/gets, bytes,
+    /// inject vs. rendezvous split, barrier rounds). Fabric counters are
+    /// fabric-global: they include every PE's transfers. Backends without a
+    /// fabric (SMP loopback) return zeros.
+    fn fabric_stats(&self) -> FabricStats {
+        FabricStats::default()
+    }
+
+    /// Typed snapshot of this PE's lamellae-layer counters (messages,
+    /// serialized bytes, aggregation-buffer flushes, wire park/retry
+    /// counts). Backends without wire queues return zeros.
+    fn lamellae_stats(&self) -> LamellaeStats {
+        LamellaeStats::default()
     }
 }

@@ -45,10 +45,12 @@
 //! toward the other; with parking, every `progress` tick both drains
 //! incoming traffic (freeing the peer's buffers) and retries parked chunks.
 
+use lamellar_metrics::{LamellaeMetrics, LamellaeStats};
 use parking_lot::Mutex;
 use rofi_sim::FabricPe;
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Buffers per destination (double buffering, per the paper).
 pub const NBUF: usize = 2;
@@ -86,6 +88,11 @@ pub struct QueueTransport {
     out: Vec<Mutex<OutQueue>>,
     /// Serializes progress ticks (one ticker at a time).
     progress_lock: Mutex<()>,
+    /// Transport observability. `msgs_sent` counts individual framed
+    /// messages; `msgs_received` counts aggregated wire chunks — their
+    /// ratio is the aggregation factor. `flushes` counts chunks handed to
+    /// the wire; parks/retries expose backpressure.
+    metrics: Arc<LamellaeMetrics>,
 }
 
 impl QueueTransport {
@@ -93,6 +100,18 @@ impl QueueTransport {
     /// least [`queue_footprint`] bytes, 8-aligned, zero-initialized
     /// (arenas start zeroed; `send_busy == 0` means free).
     pub fn new(ep: FabricPe, base: usize, buffer_size: usize, agg_threshold: usize) -> Self {
+        Self::with_metrics(ep, base, buffer_size, agg_threshold, true)
+    }
+
+    /// [`QueueTransport::new`] with explicit control over whether the
+    /// transport records observability counters.
+    pub fn with_metrics(
+        ep: FabricPe,
+        base: usize,
+        buffer_size: usize,
+        agg_threshold: usize,
+        metrics: bool,
+    ) -> Self {
         assert_eq!(base % 8, 0, "queue base must be 8-aligned");
         assert!(agg_threshold <= buffer_size, "threshold must fit in a buffer");
         let num_pes = ep.num_pes();
@@ -105,7 +124,18 @@ impl QueueTransport {
             agg_threshold,
             out,
             progress_lock: Mutex::new(()),
+            metrics: Arc::new(LamellaeMetrics::new(metrics)),
         }
+    }
+
+    /// The live transport metrics registry.
+    pub fn metrics(&self) -> &Arc<LamellaeMetrics> {
+        &self.metrics
+    }
+
+    /// Typed snapshot of the transport counters.
+    pub fn stats(&self) -> LamellaeStats {
+        self.metrics.snapshot()
     }
 
     /// Largest single framed message the wire can carry.
@@ -134,6 +164,7 @@ impl QueueTransport {
             framed.len(),
             self.buffer_size
         );
+        self.metrics.record_send(framed.len() as u64);
         let mut q = self.out[dst].lock();
         q.frames.push_back(framed.to_vec());
         q.bytes += framed.len();
@@ -162,14 +193,26 @@ impl QueueTransport {
     /// partial chunks too (flush semantics); otherwise only once the
     /// threshold accumulates.
     fn pump(&self, dst: usize, q: &mut OutQueue, want_all: bool) {
+        // A chunk already in `ready` at entry failed to launch in an earlier
+        // pump — this pass is a retry of it; chunks assembled below are on
+        // their first attempt.
+        let mut is_retry = q.ready.is_some();
         loop {
             // Retry the parked chunk first (FIFO order).
             if let Some(chunk) = q.ready.take() {
+                if is_retry {
+                    self.metrics.record_retry();
+                }
                 if !self.try_push_to_wire(dst, &chunk) {
+                    if !is_retry {
+                        self.metrics.record_park();
+                    }
                     q.ready = Some(chunk);
                     return;
                 }
+                self.metrics.record_flush();
             }
+            is_retry = false;
             let target = if want_all { 1 } else { self.agg_threshold };
             if q.bytes < target {
                 return;
@@ -260,6 +303,7 @@ impl QueueTransport {
                     .atomic_u64(src, self.send_busy_off(me, idx))
                     .expect("busy in bounds")
                     .store(0, Ordering::Release);
+                self.metrics.record_recv(data.len() as u64);
                 sink(src, data);
                 any = true;
             }
@@ -285,11 +329,12 @@ mod tests {
 
     fn make_world(n: usize, buf: usize, thresh: usize) -> Vec<Arc<QueueTransport>> {
         let foot = queue_footprint(n, buf);
-        let pes = Fabric::new(FabricConfig {
+        let pes = Fabric::launch(FabricConfig {
             num_pes: n,
             sym_len: foot + 4096,
             heap_len: 4096,
             net: NetConfig::disabled(),
+            metrics: true,
         });
         let base = pes[0].fabric().alloc_symmetric(foot, 8).unwrap();
         pes.into_iter()

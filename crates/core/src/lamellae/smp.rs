@@ -131,11 +131,12 @@ mod tests {
     use rofi_sim::NetConfig;
 
     fn smp() -> SmpLamellae {
-        let mut eps = Fabric::new(FabricConfig {
+        let mut eps = Fabric::launch(FabricConfig {
             num_pes: 1,
             sym_len: 1 << 16,
             heap_len: 1 << 14,
             net: NetConfig::disabled(),
+            metrics: true,
         });
         SmpLamellae::new(eps.pop().unwrap())
     }
@@ -180,11 +181,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "exactly one PE")]
     fn smp_rejects_multi_pe_fabric() {
-        let mut eps = Fabric::new(FabricConfig {
+        let mut eps = Fabric::launch(FabricConfig {
             num_pes: 2,
             sym_len: 1 << 12,
             heap_len: 1 << 12,
             net: NetConfig::disabled(),
+            metrics: true,
         });
         let _ = SmpLamellae::new(eps.pop().unwrap());
     }

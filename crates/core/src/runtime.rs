@@ -23,6 +23,7 @@ use crate::proto::{frame, Envelope};
 use crate::world::WorldShared;
 use lamellar_codec::Codec;
 use lamellar_executor::{oneshot, JoinHandle, ThreadPool};
+use lamellar_metrics::{AmMetrics, RuntimeStats};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -83,6 +84,9 @@ pub struct RuntimeInner {
     pub(crate) shutdown: AtomicBool,
     /// Payload size above which requests take the heap-staging path.
     large_threshold: usize,
+    /// AM-layer observability: directional AM counts, replies, batch
+    /// fan-out, Darc lifecycle events.
+    am_metrics: Arc<AmMetrics>,
 }
 
 thread_local! {
@@ -117,6 +121,7 @@ impl RuntimeInner {
         pool: ThreadPool,
         shared: Arc<WorldShared>,
         large_threshold: usize,
+        metrics: bool,
     ) -> Arc<Self> {
         Arc::new(RuntimeInner {
             pe: lamellae.my_pe(),
@@ -129,6 +134,7 @@ impl RuntimeInner {
             my_pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             large_threshold,
+            am_metrics: Arc::new(AmMetrics::new(metrics)),
         })
     }
 
@@ -157,6 +163,24 @@ impl RuntimeInner {
         &self.shared
     }
 
+    /// The live AM-layer metrics registry (the Darc and array layers record
+    /// their lifecycle/fan-out events here).
+    pub fn am_metrics(&self) -> &Arc<AmMetrics> {
+        &self.am_metrics
+    }
+
+    /// Assemble a typed snapshot across every runtime layer this PE can
+    /// observe. Fabric counters are fabric-global (shared across PEs);
+    /// lamellae, executor, and AM counters are per-PE.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            fabric: self.lamellae.fabric_stats(),
+            lamellae: self.lamellae.lamellae_stats(),
+            executor: self.pool.stats(),
+            am: self.am_metrics.snapshot(),
+        }
+    }
+
     /// Launch `am` on `dst`, returning a typed handle to its output.
     pub fn exec_am_pe<T: LamellarAm>(self: &Arc<Self>, dst: usize, am: T) -> AmHandle<T::Output> {
         assert!(dst < self.num_pes, "PE {dst} out of range (world has {})", self.num_pes);
@@ -166,6 +190,7 @@ impl RuntimeInner {
         if dst == self.pe {
             // Local fast path: no serialization (as in the paper — local AMs
             // are placed directly into the thread pool).
+            self.am_metrics.record_local();
             let ctx = AmContext { rt: Arc::clone(self), src_pe: self.pe };
             let rt = Arc::clone(self);
             drop(self.pool.spawn(async move {
@@ -208,6 +233,7 @@ impl RuntimeInner {
             };
             let mut buf = Vec::new();
             frame(&env, &mut buf);
+            self.am_metrics.record_sent();
             self.lamellae.send(dst, &buf);
         }
         AmHandle { rx }
@@ -295,6 +321,7 @@ impl RuntimeInner {
                 self.dispatch_request(am_id, req_id, src_pe, payload);
             }
             Envelope::Reply(req_id, payload) => {
+                self.am_metrics.record_reply_received();
                 let cb = self
                     .pending
                     .lock()
@@ -303,6 +330,7 @@ impl RuntimeInner {
                 cb(Ok(payload));
             }
             Envelope::ReplyErr(req_id, msg) => {
+                self.am_metrics.record_reply_received();
                 let cb = self
                     .pending
                     .lock()
@@ -317,6 +345,7 @@ impl RuntimeInner {
     }
 
     fn dispatch_request(self: &Arc<Self>, am_id: u64, req_id: u64, src_pe: usize, payload: Vec<u8>) {
+        self.am_metrics.record_received();
         let vtable = lookup_am(am_id).unwrap_or_else(|| {
             panic!("incoming AM with unregistered id {am_id:#x} — register_am on every PE")
         });
@@ -333,6 +362,7 @@ impl RuntimeInner {
             };
             let mut buf = Vec::new();
             frame(&env, &mut buf);
+            rt.am_metrics.record_reply_sent();
             rt.lamellae.send(src_pe, &buf);
         }));
     }

@@ -18,6 +18,7 @@ use crate::lamellae::{queue::queue_footprint, FabricLamellae, Lamellae, SmpLamel
 use crate::runtime::RuntimeInner;
 use crate::team::LamellarTeam;
 use lamellar_executor::{JoinHandle, PoolConfig, ThreadPool};
+use lamellar_metrics::RuntimeStats;
 use parking_lot::Mutex;
 use rofi_sim::fabric::{Fabric, FabricConfig};
 use rofi_sim::{NetConfig, SenseBarrier};
@@ -26,6 +27,9 @@ use std::collections::HashMap;
 use std::future::Future;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+
+/// One deposit slot per member of a collective all-deposit exchange.
+type DepositSlots = Vec<Option<Box<dyn Any + Send>>>;
 
 /// Process-wide state shared by all PEs of one world: the Darc/memregion
 /// trackable registry, collective-construction exchanges, and team
@@ -43,7 +47,7 @@ pub struct WorldShared {
     exchange: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
     /// Collective all-deposit exchange (Darc construction: every PE
     /// contributes its instance).
-    deposits: Mutex<HashMap<u64, Vec<Option<Box<dyn Any + Send>>>>>,
+    deposits: Mutex<HashMap<u64, DepositSlots>>,
     /// Team barriers keyed by team id.
     team_barriers: Mutex<HashMap<u64, Arc<SenseBarrier>>>,
     /// Next team id (roots draw from here and broadcast).
@@ -156,7 +160,7 @@ impl WorldShared {
         rank: usize,
         team_size: usize,
         obj: Box<dyn Any + Send>,
-    ) -> Option<Vec<Option<Box<dyn Any + Send>>>> {
+    ) -> Option<DepositSlots> {
         let mut map = self.deposits.lock();
         let slots = map.entry(tag).or_insert_with(|| (0..team_size).map(|_| None).collect());
         debug_assert!(slots[rank].is_none(), "duplicate deposit for rank {rank}");
@@ -336,10 +340,29 @@ impl LamellarWorld {
         crate::memregion::OneSidedMemoryRegion::new(Arc::clone(&self.rt), len)
     }
 
-    /// Cumulative fabric traffic `(puts, gets, bytes_moved)` across the
-    /// whole world (diagnostics; fabric-global counters).
-    pub fn net_stats(&self) -> (u64, u64, u64) {
-        self.rt.lamellae().net_stats()
+    /// Typed snapshot of the runtime's observability counters, one section
+    /// per layer: fabric (puts/gets, bytes, inject vs. rendezvous split,
+    /// barrier rounds), lamellae (messages, serialized bytes, aggregation
+    /// flushes, wire backpressure), executor (tasks spawned / completed /
+    /// stolen, per-worker queue depth high-water marks), and AM (directional
+    /// counts, replies, batch fan-out, Darc lifecycle).
+    ///
+    /// Fabric counters are fabric-global — they include every PE's traffic —
+    /// while the other sections are local to this PE. Snapshots are cheap
+    /// (relaxed atomic loads); take one before and one after a phase and
+    /// subtract with [`RuntimeStats::delta`] to isolate it:
+    ///
+    /// ```ignore
+    /// let before = world.stats();
+    /// run_phase(&world);
+    /// println!("{}", world.stats().delta(&before));
+    /// ```
+    ///
+    /// Counting is on by default; disable it with
+    /// [`WorldConfig::metrics`]`(false)` or `LAMELLAR_METRICS=0`, in which
+    /// case every section reads zero.
+    pub fn stats(&self) -> RuntimeStats {
+        self.rt.stats()
     }
 
     /// Runtime access for sibling crates (the array layer). Not part of the
@@ -363,9 +386,16 @@ impl std::fmt::Debug for LamellarWorld {
 /// Builder for single-PE worlds (the SMP path of Listing 1's
 /// `LamellarWorldBuilder::new().build()`). Multi-PE worlds come from
 /// [`launch`], which plays the role of the cluster launcher.
+///
+/// This builder — and [`WorldConfig`]'s builder-style setters for multi-PE
+/// launches via [`launch_with_config`] — is the canonical construction
+/// path: every knob (threads, backend, metrics, aggregation threshold,
+/// region sizes) flows through one `WorldConfig`, and the convenience
+/// entry point [`launch`] is just `launch_with_config(WorldConfig::new(n))`.
 pub struct LamellarWorldBuilder {
     threads: usize,
     backend: Backend,
+    metrics: bool,
 }
 
 impl Default for LamellarWorldBuilder {
@@ -377,7 +407,7 @@ impl Default for LamellarWorldBuilder {
 impl LamellarWorldBuilder {
     /// Start building a single-PE world.
     pub fn new() -> Self {
-        LamellarWorldBuilder { threads: 2, backend: Backend::Smp }
+        LamellarWorldBuilder { threads: 2, backend: Backend::Smp, metrics: true }
     }
 
     /// Worker threads for the PE's pool.
@@ -393,9 +423,19 @@ impl LamellarWorldBuilder {
         self
     }
 
+    /// Enable or disable the observability counters read through
+    /// [`LamellarWorld::stats`] (on by default).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
     /// Initialize the runtime and return the world handle.
     pub fn build(self) -> LamellarWorld {
-        let cfg = WorldConfig::new(1).backend(self.backend).threads_per_pe(self.threads);
+        let cfg = WorldConfig::new(1)
+            .backend(self.backend)
+            .threads_per_pe(self.threads)
+            .metrics(self.metrics);
         build_worlds(cfg).pop().expect("one world")
     }
 }
@@ -407,11 +447,12 @@ pub(crate) fn build_worlds(cfg: WorldConfig) -> Vec<LamellarWorld> {
         Backend::Rofi => NetConfig::from_env(),
         Backend::Shmem | Backend::Smp => NetConfig::disabled(),
     };
-    let endpoints = Fabric::new(FabricConfig {
+    let endpoints = Fabric::launch(FabricConfig {
         num_pes: cfg.num_pes,
         sym_len: cfg.sym_len,
         heap_len: cfg.heap_len,
         net,
+        metrics: cfg.metrics,
     });
     // Reserve the queue block first: symmetric offset 64-aligned, identical
     // on every PE by construction.
@@ -425,12 +466,13 @@ pub(crate) fn build_worlds(cfg: WorldConfig) -> Vec<LamellarWorld> {
         .map(|ep| {
             let lamellae: Arc<dyn Lamellae> = match cfg.backend {
                 Backend::Smp => Arc::new(SmpLamellae::new(ep)),
-                b => Arc::new(FabricLamellae::new(
+                b => Arc::new(FabricLamellae::with_metrics(
                     ep,
                     b,
                     queue_base,
                     cfg.buffer_size,
                     cfg.agg_threshold,
+                    cfg.metrics,
                 )),
             };
             let pe = lamellae.my_pe();
@@ -438,9 +480,15 @@ pub(crate) fn build_worlds(cfg: WorldConfig) -> Vec<LamellarWorld> {
                 workers: cfg.threads_per_pe,
                 single_queue: false,
                 thread_name: format!("lamellar-pe{pe}"),
+                metrics: cfg.metrics,
             });
-            let rt =
-                RuntimeInner::new(lamellae, pool, Arc::clone(&shared), cfg.agg_threshold);
+            let rt = RuntimeInner::new(
+                lamellae,
+                pool,
+                Arc::clone(&shared),
+                cfg.agg_threshold,
+                cfg.metrics,
+            );
             let progress = {
                 let rt = Arc::clone(&rt);
                 std::thread::Builder::new()

@@ -45,11 +45,12 @@ proptest! {
     ) {
         let n = 3;
         let buf_size = 4096;
-        let endpoints = Fabric::new(FabricConfig {
+        let endpoints = Fabric::launch(FabricConfig {
             num_pes: n,
             sym_len: queue_footprint(n, buf_size) + 4096,
             heap_len: 4096,
             net: NetConfig::disabled(),
+            metrics: true,
         });
         let base = endpoints[0].fabric().alloc_symmetric(queue_footprint(n, buf_size), 64).unwrap();
         let qs: Vec<Arc<QueueTransport>> = endpoints

@@ -3,6 +3,7 @@
 use crate::oneshot::oneshot;
 use crate::task::{JoinHandle, Schedule, Task};
 use crossbeam_deque::{Injector, Stealer, Worker};
+use lamellar_metrics::{ExecutorMetrics, ExecutorStats};
 use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::future::Future;
@@ -22,6 +23,9 @@ pub struct PoolConfig {
     pub single_queue: bool,
     /// Prefix for worker thread names (helpful in stack traces).
     pub thread_name: String,
+    /// Record spawn/complete/steal counters and per-worker queue-depth
+    /// high-water marks ([`ExecutorMetrics`]).
+    pub metrics: bool,
 }
 
 impl Default for PoolConfig {
@@ -30,6 +34,7 @@ impl Default for PoolConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8),
             single_queue: false,
             thread_name: "lamellar-worker".to_string(),
+            metrics: true,
         }
     }
 }
@@ -57,6 +62,8 @@ struct PoolInner {
     executed: Vec<AtomicUsize>,
     /// Instrumentation: tasks obtained by stealing from a sibling.
     steals: Vec<AtomicUsize>,
+    /// Executor-layer observability (spawn/complete/steal, queue HWMs).
+    metrics: Arc<ExecutorMetrics>,
 }
 
 impl Schedule for PoolInner {
@@ -68,6 +75,7 @@ impl Schedule for PoolInner {
                 if let Some(cur) = cw.borrow().as_ref() {
                     if cur.pool_id == self.id {
                         cur.worker.push(task.clone());
+                        self.metrics.record_queue_depth(cur.index, cur.worker.len() as u64);
                         return true;
                     }
                 }
@@ -80,12 +88,14 @@ impl Schedule for PoolInner {
     }
 
     fn task_finished(&self) {
+        self.metrics.record_complete();
         self.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
 struct CurrentWorker {
     pool_id: usize,
+    index: usize,
     worker: Worker<Arc<Task>>,
 }
 
@@ -116,6 +126,7 @@ impl ThreadPool {
             id: 0, // fixed up below once the Arc address is known
             executed: (0..cfg.workers).map(|_| AtomicUsize::new(0)).collect(),
             steals: (0..cfg.workers).map(|_| AtomicUsize::new(0)).collect(),
+            metrics: Arc::new(ExecutorMetrics::new(cfg.metrics, cfg.workers)),
         });
         // The pool id is the Arc's address — unique for the pool's lifetime.
         let id = Arc::as_ptr(&inner) as usize;
@@ -152,6 +163,7 @@ impl ThreadPool {
         F: Future + Send + 'static,
         F::Output: Send + 'static,
     {
+        self.inner.metrics.record_spawn();
         self.inner.outstanding.fetch_add(1, Ordering::AcqRel);
         let (tx, rx) = oneshot();
         let wrapped = async move {
@@ -170,6 +182,17 @@ impl ThreadPool {
     /// Tasks spawned but not yet completed.
     pub fn outstanding(&self) -> usize {
         self.inner.outstanding.load(Ordering::Acquire)
+    }
+
+    /// The live executor-layer metrics registry (shared with the runtime's
+    /// `RuntimeStats` assembly).
+    pub fn metrics(&self) -> &Arc<ExecutorMetrics> {
+        &self.inner.metrics
+    }
+
+    /// Typed snapshot of the executor-layer counters.
+    pub fn stats(&self) -> ExecutorStats {
+        self.inner.metrics.snapshot()
     }
 
     /// Instrumentation snapshot: per-worker `(executed, stolen)` counts.
@@ -275,7 +298,7 @@ impl std::fmt::Debug for ThreadPool {
 fn worker_loop(inner: Arc<PoolInner>, worker: Worker<Arc<Task>>, index: usize) {
     // Register this thread as a worker so `schedule` can use the local deque.
     CURRENT_WORKER.with(|cw| {
-        *cw.borrow_mut() = Some(CurrentWorker { pool_id: inner.id, worker });
+        *cw.borrow_mut() = Some(CurrentWorker { pool_id: inner.id, index, worker });
     });
     let run_one = |inner: &PoolInner| -> bool {
         CURRENT_WORKER.with(|cw| {
@@ -288,6 +311,7 @@ fn worker_loop(inner: Arc<PoolInner>, worker: Worker<Arc<Task>>, index: usize) {
                 inner.executed[index].fetch_add(1, Ordering::Relaxed);
                 if stolen {
                     inner.steals[index].fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.record_steal();
                 }
                 task.run();
                 true

@@ -122,7 +122,7 @@ impl Arena {
     /// primitive behind the Lamellae's flag-based transfer signalling.
     pub fn atomic_u64(&self, offset: usize) -> Result<&AtomicU64> {
         self.check(offset, 8)?;
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(FabricError::Misaligned { offset, align: 8 });
         }
         // SAFETY: bounds + alignment checked; AtomicU64 allows aliasing.
@@ -132,7 +132,7 @@ impl Arena {
     /// View the 8 bytes at `offset` as an `AtomicUsize` (64-bit platforms).
     pub fn atomic_usize(&self, offset: usize) -> Result<&AtomicUsize> {
         self.check(offset, std::mem::size_of::<usize>())?;
-        if offset % std::mem::align_of::<usize>() != 0 {
+        if !offset.is_multiple_of(std::mem::align_of::<usize>()) {
             return Err(FabricError::Misaligned { offset, align: std::mem::align_of::<usize>() });
         }
         // SAFETY: bounds + alignment checked; AtomicUsize allows aliasing.

@@ -49,7 +49,7 @@ impl SenseBarrier {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
                 spins = spins.wrapping_add(1);
-                if spins % 64 == 0 {
+                if spins.is_multiple_of(64) {
                     std::thread::yield_now();
                 } else {
                     std::hint::spin_loop();

@@ -22,6 +22,7 @@ use crate::arena::Arena;
 use crate::barrier::SenseBarrier;
 use crate::netmodel::{NetConfig, NetModel};
 use crate::{FabricError, Result};
+use lamellar_metrics::{FabricMetrics, FabricStats};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -38,17 +39,22 @@ pub struct FabricConfig {
     pub heap_len: usize,
     /// Network cost model.
     pub net: NetConfig,
+    /// Record transfer/barrier counters ([`FabricMetrics`]). Recording is a
+    /// handful of relaxed atomics per transfer; disable for overhead-critical
+    /// runs.
+    pub metrics: bool,
 }
 
 impl FabricConfig {
     /// A reasonable default: 64 MiB symmetric + 32 MiB heap per PE, model
-    /// from the environment.
+    /// from the environment, metrics on.
     pub fn new(num_pes: usize) -> Self {
         FabricConfig {
             num_pes,
             sym_len: 64 << 20,
             heap_len: 32 << 20,
             net: NetConfig::from_env(),
+            metrics: true,
         }
     }
 
@@ -69,6 +75,12 @@ impl FabricConfig {
         self.net = net;
         self
     }
+
+    /// Enable or disable fabric metrics recording.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
 }
 
 /// The interconnect shared by all simulated PEs.
@@ -87,15 +99,14 @@ pub struct Fabric {
     oob_cv: Condvar,
     /// Failure injection: extra nanoseconds added to each progress tick.
     progress_delay_ns: AtomicU64,
-    /// Transfer counters (diagnostics; relaxed).
-    puts: AtomicU64,
-    gets: AtomicU64,
-    bytes_moved: AtomicU64,
+    /// Fabric-layer observability: puts/gets/bytes, inject vs. rendezvous
+    /// splits, barrier rounds, put-size histogram. Shared by all PE handles.
+    metrics: FabricMetrics,
 }
 
 impl Fabric {
     /// Build a fabric and return one handle per PE.
-    pub fn new(cfg: FabricConfig) -> Vec<FabricPe> {
+    pub fn launch(cfg: FabricConfig) -> Vec<FabricPe> {
         assert!(cfg.num_pes > 0, "need at least one PE");
         let arena_len = cfg.sym_len + cfg.heap_len;
         assert!(arena_len > 0, "arena must be non-empty");
@@ -112,9 +123,7 @@ impl Fabric {
             oob: Mutex::new(HashMap::new()),
             oob_cv: Condvar::new(),
             progress_delay_ns: AtomicU64::new(0),
-            puts: AtomicU64::new(0),
-            gets: AtomicU64::new(0),
-            bytes_moved: AtomicU64::new(0),
+            metrics: FabricMetrics::new(cfg.metrics),
         });
         (0..cfg.num_pes).map(|pe| FabricPe { fabric: Arc::clone(&fabric), pe }).collect()
     }
@@ -223,13 +232,14 @@ impl Fabric {
         }
     }
 
-    /// Diagnostic counters: (puts, gets, bytes moved).
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (
-            self.puts.load(Ordering::Relaxed),
-            self.gets.load(Ordering::Relaxed),
-            self.bytes_moved.load(Ordering::Relaxed),
-        )
+    /// The live fabric-layer metrics registry.
+    pub fn metrics(&self) -> &FabricMetrics {
+        &self.metrics
+    }
+
+    /// Typed snapshot of the fabric-layer counters.
+    pub fn stats(&self) -> FabricStats {
+        self.metrics.snapshot()
     }
 }
 
@@ -275,8 +285,9 @@ impl FabricPe {
         if dst_pe != self.pe {
             self.fabric.model.charge(src.len());
         }
-        self.fabric.puts.fetch_add(1, Ordering::Relaxed);
-        self.fabric.bytes_moved.fetch_add(src.len() as u64, Ordering::Relaxed);
+        self.fabric
+            .metrics
+            .record_put(src.len() as u64, self.fabric.model.inject_path(src.len()));
         // SAFETY: forwarded contract.
         unsafe { arena.write(offset, src) }
     }
@@ -290,8 +301,7 @@ impl FabricPe {
         if src_pe != self.pe {
             self.fabric.model.charge(dst.len());
         }
-        self.fabric.gets.fetch_add(1, Ordering::Relaxed);
-        self.fabric.bytes_moved.fetch_add(dst.len() as u64, Ordering::Relaxed);
+        self.fabric.metrics.record_get(dst.len() as u64);
         // SAFETY: forwarded contract.
         unsafe { arena.read(offset, dst) }
     }
@@ -313,11 +323,13 @@ impl FabricPe {
 
     /// World barrier over all PEs.
     pub fn barrier(&self) {
+        self.fabric.metrics.record_barrier_round();
         self.fabric.barrier.wait();
     }
 
     /// World barrier that keeps running `progress` while waiting.
     pub fn barrier_with_progress(&self, progress: impl FnMut()) {
+        self.fabric.metrics.record_barrier_round();
         self.fabric.barrier.wait_with_progress(progress);
     }
 }
@@ -333,11 +345,12 @@ mod tests {
     use super::*;
 
     fn small_fabric(n: usize) -> Vec<FabricPe> {
-        Fabric::new(FabricConfig {
+        Fabric::launch(FabricConfig {
             num_pes: n,
             sym_len: 1 << 16,
             heap_len: 1 << 16,
             net: NetConfig::disabled(),
+            metrics: true,
         })
     }
 
@@ -438,10 +451,42 @@ mod tests {
         unsafe { pes[0].put(1, 0, &[1, 2, 3]).unwrap() };
         let mut buf = [0u8; 3];
         unsafe { pes[1].get(1, 0, &mut buf).unwrap() };
-        let (puts, gets, bytes) = pes[0].fabric().stats();
-        assert_eq!(puts, 1);
-        assert_eq!(gets, 1);
-        assert_eq!(bytes, 6);
+        let stats = pes[0].fabric().stats();
+        assert_eq!(stats.puts, 1);
+        assert_eq!(stats.gets, 1);
+        assert_eq!(stats.bytes_put + stats.bytes_get, 6);
+        // 3 bytes is well under any inject threshold.
+        assert_eq!(stats.inject_puts, 1);
+        assert_eq!(stats.rendezvous_puts, 0);
+        assert_eq!(stats.put_sizes.count(), 1);
+    }
+
+    #[test]
+    fn disabled_metrics_stay_zero() {
+        let pes = Fabric::launch(FabricConfig {
+            num_pes: 2,
+            sym_len: 1 << 16,
+            heap_len: 1 << 16,
+            net: NetConfig::disabled(),
+            metrics: false,
+        });
+        unsafe { pes[0].put(1, 0, &[1, 2, 3]).unwrap() };
+        pes[0].fabric().set_progress_delay_ns(0);
+        let stats = pes[0].fabric().stats();
+        assert_eq!(stats.puts, 0);
+        assert_eq!(stats.bytes_put, 0);
+    }
+
+    #[test]
+    fn barrier_rounds_are_counted() {
+        let pes = small_fabric(2);
+        let before = pes[0].fabric().stats().barrier_rounds;
+        let peer = pes[1].clone();
+        let t = std::thread::spawn(move || peer.barrier());
+        pes[0].barrier();
+        t.join().unwrap();
+        // Both PEs entered one barrier episode: two recorded rounds.
+        assert_eq!(pes[0].fabric().stats().barrier_rounds - before, 2);
     }
 
     #[test]

@@ -127,6 +127,22 @@ impl NetModel {
         &self.cfg
     }
 
+    /// Whether a message of `bytes` takes the eager `fi_inject_write`-style
+    /// path rather than the rendezvous `fi_write` path.
+    ///
+    /// Used both for cost accounting and for the fabric's inject/rendezvous
+    /// split counters. With the model disabled the configured threshold is 0,
+    /// so classification falls back to the paper-like 192 B switch point —
+    /// the split stays meaningful in metrics-only runs.
+    pub fn inject_path(&self, bytes: usize) -> bool {
+        let threshold = if self.cfg.inject_size > 0 {
+            self.cfg.inject_size
+        } else {
+            NetConfig::paper_like().inject_size
+        };
+        bytes <= threshold
+    }
+
     /// The modeled wire time for a message of `bytes`.
     pub fn message_cost(&self, bytes: usize) -> Duration {
         if !self.cfg.enabled {

@@ -98,11 +98,12 @@ mod tests {
 
     #[test]
     fn rofi_style_put_get_with_manual_termination() {
-        let pes = Fabric::new(FabricConfig {
+        let pes = Fabric::launch(FabricConfig {
             num_pes: 2,
             sym_len: 1 << 16,
             heap_len: 1 << 12,
             net: NetConfig::disabled(),
+            metrics: true,
         });
         let mut pes = pes.into_iter();
         let r0 = Rofi::init(pes.next().unwrap());

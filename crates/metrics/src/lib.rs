@@ -1,0 +1,854 @@
+//! Runtime-wide observability for the Lamellar reproduction.
+//!
+//! The paper's evaluation (Figs. 2–5) is an exercise in attributing cycles
+//! and bytes: inject-threshold dips, aggregation flushes, work stealing vs.
+//! injection. This crate provides the typed counter/histogram layer that
+//! every runtime tier threads through so those attributions come from the
+//! runtime itself instead of hand instrumentation:
+//!
+//! * [`FabricMetrics`] — RDMA-level puts/gets, bytes, inject- vs.
+//!   rendezvous-path splits, barrier rounds, and a put-size histogram;
+//! * [`LamellaeMetrics`] — message counts, serialized bytes, aggregation
+//!   buffer flushes, and wire-queue park/retry pressure;
+//! * [`ExecutorMetrics`] — tasks spawned/completed/stolen and per-worker
+//!   run-queue high-water marks;
+//! * [`AmMetrics`] — active messages by direction, batch-op sub-batches,
+//!   and darc lifecycle events.
+//!
+//! Each live struct is a set of relaxed atomics guarded by an `enabled`
+//! flag fixed at construction: when metrics are disabled every recording
+//! call is a single predictable branch on an immutable bool, so the hot
+//! paths stay effectively free. Snapshots ([`RuntimeStats`] and its layer
+//! structs) are plain `Clone + PartialEq` data with saturating
+//! [`RuntimeStats::delta`] and a `Display` table renderer for bench
+//! harnesses and the ablation binaries.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two size buckets in a [`SizeHistogram`]:
+/// `[0,1], (1,2], (2,4], ... (2^14, +inf)`.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// A monotonically increasing, relaxed atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonically increasing maximum gauge (e.g. queue-depth high-water).
+#[derive(Debug, Default)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    pub fn new() -> Self {
+        MaxGauge(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket power-of-two histogram for sizes or latencies.
+///
+/// Bucket `i` counts values in `(2^(i-1), 2^i]` (bucket 0 is `[0,1]`); the
+/// last bucket absorbs everything larger. Recording is one relaxed
+/// `fetch_add` on a cache-resident array — no allocation, no locks.
+#[derive(Debug, Default)]
+pub struct SizeHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl SizeHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = (64 - u64::leading_zeros(value.saturating_sub(1)) as usize)
+            .min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets }
+    }
+}
+
+/// Plain-data snapshot of a [`SizeHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Saturating per-bucket difference since `earlier`.
+    pub fn delta(&self, earlier: &Self) -> Self {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for ((d, now), then) in buckets.iter_mut().zip(&self.buckets).zip(&earlier.buckets) {
+            *d = now.saturating_sub(*then);
+        }
+        HistogramSnapshot { buckets }
+    }
+
+    /// Compact one-line rendering of the non-empty buckets, e.g.
+    /// `≤64:12 ≤256:3 >16Ki:1`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if i == HISTOGRAM_BUCKETS - 1 {
+                out.push_str(&format!(">{}:{n}", fmt_pow2(1 << (i - 1))));
+            } else {
+                out.push_str(&format!("≤{}:{n}", fmt_pow2(1 << i)));
+            }
+        }
+        if out.is_empty() {
+            out.push('-');
+        }
+        out
+    }
+}
+
+fn fmt_pow2(v: u64) -> String {
+    if v >= 1 << 20 {
+        format!("{}Mi", v >> 20)
+    } else if v >= 1 << 10 {
+        format!("{}Ki", v >> 10)
+    } else {
+        format!("{v}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live per-layer metric registries (atomics, shared via Arc by the runtime).
+// ---------------------------------------------------------------------------
+
+/// Fabric-level (simulated RDMA) metrics; one instance per [fabric], shared
+/// by all endpoint handles.
+///
+/// [fabric]: https://ofiwg.github.io/libfabric/
+#[derive(Debug)]
+pub struct FabricMetrics {
+    enabled: bool,
+    puts: Counter,
+    gets: Counter,
+    bytes_put: Counter,
+    bytes_get: Counter,
+    inject_puts: Counter,
+    rendezvous_puts: Counter,
+    barrier_rounds: Counter,
+    put_sizes: SizeHistogram,
+}
+
+impl FabricMetrics {
+    pub fn new(enabled: bool) -> Self {
+        FabricMetrics {
+            enabled,
+            puts: Counter::new(),
+            gets: Counter::new(),
+            bytes_put: Counter::new(),
+            bytes_get: Counter::new(),
+            inject_puts: Counter::new(),
+            rendezvous_puts: Counter::new(),
+            barrier_rounds: Counter::new(),
+            put_sizes: SizeHistogram::new(),
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one put of `bytes`; `inject` tells whether it went down the
+    /// eager `fi_inject_write`-style path or the rendezvous path.
+    #[inline]
+    pub fn record_put(&self, bytes: u64, inject: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.puts.inc();
+        self.bytes_put.add(bytes);
+        if inject {
+            self.inject_puts.inc();
+        } else {
+            self.rendezvous_puts.inc();
+        }
+        self.put_sizes.record(bytes);
+    }
+
+    #[inline]
+    pub fn record_get(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.gets.inc();
+        self.bytes_get.add(bytes);
+    }
+
+    #[inline]
+    pub fn record_barrier_round(&self) {
+        if self.enabled {
+            self.barrier_rounds.inc();
+        }
+    }
+
+    pub fn snapshot(&self) -> FabricStats {
+        FabricStats {
+            puts: self.puts.get(),
+            gets: self.gets.get(),
+            bytes_put: self.bytes_put.get(),
+            bytes_get: self.bytes_get.get(),
+            inject_puts: self.inject_puts.get(),
+            rendezvous_puts: self.rendezvous_puts.get(),
+            barrier_rounds: self.barrier_rounds.get(),
+            put_sizes: self.put_sizes.snapshot(),
+        }
+    }
+}
+
+/// Lamellae-level (message transport) metrics; one instance per PE.
+#[derive(Debug)]
+pub struct LamellaeMetrics {
+    enabled: bool,
+    msgs_sent: Counter,
+    msgs_received: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    flushes: Counter,
+    wire_parks: Counter,
+    wire_retries: Counter,
+}
+
+impl LamellaeMetrics {
+    pub fn new(enabled: bool) -> Self {
+        LamellaeMetrics {
+            enabled,
+            msgs_sent: Counter::new(),
+            msgs_received: Counter::new(),
+            bytes_sent: Counter::new(),
+            bytes_received: Counter::new(),
+            flushes: Counter::new(),
+            wire_parks: Counter::new(),
+            wire_retries: Counter::new(),
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    #[inline]
+    pub fn record_send(&self, bytes: u64) {
+        if self.enabled {
+            self.msgs_sent.inc();
+            self.bytes_sent.add(bytes);
+        }
+    }
+
+    #[inline]
+    pub fn record_recv(&self, bytes: u64) {
+        if self.enabled {
+            self.msgs_received.inc();
+            self.bytes_received.add(bytes);
+        }
+    }
+
+    /// An aggregation buffer was sealed and handed to the wire.
+    #[inline]
+    pub fn record_flush(&self) {
+        if self.enabled {
+            self.flushes.inc();
+        }
+    }
+
+    /// A sealed buffer could not go out (peer busy) and was parked.
+    #[inline]
+    pub fn record_park(&self) {
+        if self.enabled {
+            self.wire_parks.inc();
+        }
+    }
+
+    /// A parked buffer was retried by the progress engine.
+    #[inline]
+    pub fn record_retry(&self) {
+        if self.enabled {
+            self.wire_retries.inc();
+        }
+    }
+
+    pub fn snapshot(&self) -> LamellaeStats {
+        LamellaeStats {
+            msgs_sent: self.msgs_sent.get(),
+            msgs_received: self.msgs_received.get(),
+            bytes_sent: self.bytes_sent.get(),
+            bytes_received: self.bytes_received.get(),
+            flushes: self.flushes.get(),
+            wire_parks: self.wire_parks.get(),
+            wire_retries: self.wire_retries.get(),
+        }
+    }
+}
+
+/// Executor-level metrics; one instance per PE's thread pool.
+#[derive(Debug)]
+pub struct ExecutorMetrics {
+    enabled: bool,
+    spawned: Counter,
+    completed: Counter,
+    stolen: Counter,
+    queue_hwm: Vec<MaxGauge>,
+}
+
+impl ExecutorMetrics {
+    pub fn new(enabled: bool, workers: usize) -> Self {
+        ExecutorMetrics {
+            enabled,
+            spawned: Counter::new(),
+            completed: Counter::new(),
+            stolen: Counter::new(),
+            queue_hwm: (0..workers).map(|_| MaxGauge::new()).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    #[inline]
+    pub fn record_spawn(&self) {
+        if self.enabled {
+            self.spawned.inc();
+        }
+    }
+
+    #[inline]
+    pub fn record_complete(&self) {
+        if self.enabled {
+            self.completed.inc();
+        }
+    }
+
+    #[inline]
+    pub fn record_steal(&self) {
+        if self.enabled {
+            self.stolen.inc();
+        }
+    }
+
+    /// Record `depth` pending tasks observed on `worker`'s local queue.
+    #[inline]
+    pub fn record_queue_depth(&self, worker: usize, depth: u64) {
+        if self.enabled {
+            if let Some(g) = self.queue_hwm.get(worker) {
+                g.record(depth);
+            }
+        }
+    }
+
+    pub fn snapshot(&self) -> ExecutorStats {
+        ExecutorStats {
+            spawned: self.spawned.get(),
+            completed: self.completed.get(),
+            stolen: self.stolen.get(),
+            queue_depth_hwm: self.queue_hwm.iter().map(MaxGauge::get).collect(),
+        }
+    }
+}
+
+/// AM/array-layer metrics; one instance per PE's runtime.
+#[derive(Debug)]
+pub struct AmMetrics {
+    enabled: bool,
+    sent: Counter,
+    received: Counter,
+    local: Counter,
+    replies_sent: Counter,
+    replies_received: Counter,
+    batch_sub_batches: Counter,
+    darcs_created: Counter,
+    darcs_dropped: Counter,
+}
+
+impl AmMetrics {
+    pub fn new(enabled: bool) -> Self {
+        AmMetrics {
+            enabled,
+            sent: Counter::new(),
+            received: Counter::new(),
+            local: Counter::new(),
+            replies_sent: Counter::new(),
+            replies_received: Counter::new(),
+            batch_sub_batches: Counter::new(),
+            darcs_created: Counter::new(),
+            darcs_dropped: Counter::new(),
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// An AM was serialized and sent to a remote PE.
+    #[inline]
+    pub fn record_sent(&self) {
+        if self.enabled {
+            self.sent.inc();
+        }
+    }
+
+    /// An inbound AM was dispatched for execution on this PE.
+    #[inline]
+    pub fn record_received(&self) {
+        if self.enabled {
+            self.received.inc();
+        }
+    }
+
+    /// An AM targeted this PE and ran without serialization.
+    #[inline]
+    pub fn record_local(&self) {
+        if self.enabled {
+            self.local.inc();
+        }
+    }
+
+    #[inline]
+    pub fn record_reply_sent(&self) {
+        if self.enabled {
+            self.replies_sent.inc();
+        }
+    }
+
+    #[inline]
+    pub fn record_reply_received(&self) {
+        if self.enabled {
+            self.replies_received.inc();
+        }
+    }
+
+    /// A batched array op fanned out into `n` per-PE sub-batches.
+    #[inline]
+    pub fn record_sub_batches(&self, n: u64) {
+        if self.enabled {
+            self.batch_sub_batches.add(n);
+        }
+    }
+
+    #[inline]
+    pub fn record_darc_created(&self) {
+        if self.enabled {
+            self.darcs_created.inc();
+        }
+    }
+
+    #[inline]
+    pub fn record_darc_dropped(&self) {
+        if self.enabled {
+            self.darcs_dropped.inc();
+        }
+    }
+
+    pub fn snapshot(&self) -> AmStats {
+        AmStats {
+            sent: self.sent.get(),
+            received: self.received.get(),
+            local: self.local.get(),
+            replies_sent: self.replies_sent.get(),
+            replies_received: self.replies_received.get(),
+            batch_sub_batches: self.batch_sub_batches.get(),
+            darcs_created: self.darcs_created.get(),
+            darcs_dropped: self.darcs_dropped.get(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot types: plain data, Display, delta().
+// ---------------------------------------------------------------------------
+
+/// Snapshot of [`FabricMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FabricStats {
+    pub puts: u64,
+    pub gets: u64,
+    pub bytes_put: u64,
+    pub bytes_get: u64,
+    pub inject_puts: u64,
+    pub rendezvous_puts: u64,
+    pub barrier_rounds: u64,
+    pub put_sizes: HistogramSnapshot,
+}
+
+impl FabricStats {
+    pub fn delta(&self, earlier: &Self) -> Self {
+        FabricStats {
+            puts: self.puts.saturating_sub(earlier.puts),
+            gets: self.gets.saturating_sub(earlier.gets),
+            bytes_put: self.bytes_put.saturating_sub(earlier.bytes_put),
+            bytes_get: self.bytes_get.saturating_sub(earlier.bytes_get),
+            inject_puts: self.inject_puts.saturating_sub(earlier.inject_puts),
+            rendezvous_puts: self.rendezvous_puts.saturating_sub(earlier.rendezvous_puts),
+            barrier_rounds: self.barrier_rounds.saturating_sub(earlier.barrier_rounds),
+            put_sizes: self.put_sizes.delta(&earlier.put_sizes),
+        }
+    }
+}
+
+/// Snapshot of [`LamellaeMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LamellaeStats {
+    pub msgs_sent: u64,
+    pub msgs_received: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub flushes: u64,
+    pub wire_parks: u64,
+    pub wire_retries: u64,
+}
+
+impl LamellaeStats {
+    pub fn delta(&self, earlier: &Self) -> Self {
+        LamellaeStats {
+            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
+            msgs_received: self.msgs_received.saturating_sub(earlier.msgs_received),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            wire_parks: self.wire_parks.saturating_sub(earlier.wire_parks),
+            wire_retries: self.wire_retries.saturating_sub(earlier.wire_retries),
+        }
+    }
+}
+
+/// Snapshot of [`ExecutorMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecutorStats {
+    pub spawned: u64,
+    pub completed: u64,
+    pub stolen: u64,
+    /// Per-worker run-queue depth high-water marks. Gauges, not counters:
+    /// [`delta`](Self::delta) carries the later value through unchanged.
+    pub queue_depth_hwm: Vec<u64>,
+}
+
+impl ExecutorStats {
+    pub fn delta(&self, earlier: &Self) -> Self {
+        ExecutorStats {
+            spawned: self.spawned.saturating_sub(earlier.spawned),
+            completed: self.completed.saturating_sub(earlier.completed),
+            stolen: self.stolen.saturating_sub(earlier.stolen),
+            queue_depth_hwm: self.queue_depth_hwm.clone(),
+        }
+    }
+}
+
+/// Snapshot of [`AmMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AmStats {
+    pub sent: u64,
+    pub received: u64,
+    pub local: u64,
+    pub replies_sent: u64,
+    pub replies_received: u64,
+    pub batch_sub_batches: u64,
+    pub darcs_created: u64,
+    pub darcs_dropped: u64,
+}
+
+impl AmStats {
+    pub fn delta(&self, earlier: &Self) -> Self {
+        AmStats {
+            sent: self.sent.saturating_sub(earlier.sent),
+            received: self.received.saturating_sub(earlier.received),
+            local: self.local.saturating_sub(earlier.local),
+            replies_sent: self.replies_sent.saturating_sub(earlier.replies_sent),
+            replies_received: self.replies_received.saturating_sub(earlier.replies_received),
+            batch_sub_batches: self.batch_sub_batches.saturating_sub(earlier.batch_sub_batches),
+            darcs_created: self.darcs_created.saturating_sub(earlier.darcs_created),
+            darcs_dropped: self.darcs_dropped.saturating_sub(earlier.darcs_dropped),
+        }
+    }
+}
+
+/// The layered, typed stats snapshot returned by `LamellarWorld::stats()`.
+///
+/// All counters are cumulative since world construction. Use
+/// [`delta`](Self::delta) to isolate a phase:
+///
+/// ```
+/// use lamellar_metrics::RuntimeStats;
+/// let before = RuntimeStats::default();
+/// let after = RuntimeStats::default();
+/// let phase = after.delta(&before);
+/// println!("{phase}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RuntimeStats {
+    pub fabric: FabricStats,
+    pub lamellae: LamellaeStats,
+    pub executor: ExecutorStats,
+    pub am: AmStats,
+}
+
+impl RuntimeStats {
+    /// Counters accumulated since `earlier` (fieldwise saturating
+    /// subtraction; gauges carry the later value).
+    pub fn delta(&self, earlier: &Self) -> Self {
+        RuntimeStats {
+            fabric: self.fabric.delta(&earlier.fabric),
+            lamellae: self.lamellae.delta(&earlier.lamellae),
+            executor: self.executor.delta(&earlier.executor),
+            am: self.am.delta(&earlier.am),
+        }
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "layer     metric                 value")?;
+        writeln!(f, "--------- ---------------------- ------------")?;
+        let mut row = |layer: &str, metric: &str, value: String| {
+            writeln!(f, "{layer:<9} {metric:<22} {value}")
+        };
+        row("fabric", "puts", self.fabric.puts.to_string())?;
+        row("fabric", "gets", self.fabric.gets.to_string())?;
+        row("fabric", "bytes_put", self.fabric.bytes_put.to_string())?;
+        row("fabric", "bytes_get", self.fabric.bytes_get.to_string())?;
+        row("fabric", "inject_puts", self.fabric.inject_puts.to_string())?;
+        row("fabric", "rendezvous_puts", self.fabric.rendezvous_puts.to_string())?;
+        row("fabric", "barrier_rounds", self.fabric.barrier_rounds.to_string())?;
+        row("fabric", "put_sizes", self.fabric.put_sizes.render())?;
+        row("lamellae", "msgs_sent", self.lamellae.msgs_sent.to_string())?;
+        row("lamellae", "msgs_received", self.lamellae.msgs_received.to_string())?;
+        row("lamellae", "bytes_sent", self.lamellae.bytes_sent.to_string())?;
+        row("lamellae", "bytes_received", self.lamellae.bytes_received.to_string())?;
+        row("lamellae", "flushes", self.lamellae.flushes.to_string())?;
+        row("lamellae", "wire_parks", self.lamellae.wire_parks.to_string())?;
+        row("lamellae", "wire_retries", self.lamellae.wire_retries.to_string())?;
+        row("executor", "spawned", self.executor.spawned.to_string())?;
+        row("executor", "completed", self.executor.completed.to_string())?;
+        row("executor", "stolen", self.executor.stolen.to_string())?;
+        let hwm = self
+            .executor
+            .queue_depth_hwm
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        row("executor", "queue_depth_hwm", if hwm.is_empty() { "-".into() } else { hwm })?;
+        row("am", "sent", self.am.sent.to_string())?;
+        row("am", "received", self.am.received.to_string())?;
+        row("am", "local", self.am.local.to_string())?;
+        row("am", "replies_sent", self.am.replies_sent.to_string())?;
+        row("am", "replies_received", self.am.replies_received.to_string())?;
+        row("am", "batch_sub_batches", self.am.batch_sub_batches.to_string())?;
+        row("am", "darcs_created", self.am.darcs_created.to_string())?;
+        row("am", "darcs_dropped", self.am.darcs_dropped.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_are_monotonic_under_concurrency() {
+        let m = Arc::new(FabricMetrics::new(true));
+        let mut last = 0;
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        m.record_put(i % 128, i % 3 == 0);
+                    }
+                })
+            })
+            .collect();
+        // Concurrent reads must never observe a decrease.
+        for _ in 0..100 {
+            let now = m.snapshot().puts;
+            assert!(now >= last, "counter went backwards: {now} < {last}");
+            last = now;
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.puts, 4000);
+        assert_eq!(s.inject_puts + s.rendezvous_puts, s.puts);
+        assert_eq!(s.put_sizes.count(), 4000);
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let f = FabricMetrics::new(false);
+        f.record_put(100, true);
+        f.record_get(100);
+        f.record_barrier_round();
+        assert_eq!(f.snapshot(), FabricStats::default());
+
+        let l = LamellaeMetrics::new(false);
+        l.record_send(64);
+        l.record_recv(64);
+        l.record_flush();
+        assert_eq!(l.snapshot(), LamellaeStats::default());
+
+        let e = ExecutorMetrics::new(false, 2);
+        e.record_spawn();
+        e.record_queue_depth(0, 9);
+        let s = e.snapshot();
+        assert_eq!(s.spawned, 0);
+        assert_eq!(s.queue_depth_hwm, vec![0, 0]);
+
+        let a = AmMetrics::new(false);
+        a.record_sent();
+        a.record_sub_batches(5);
+        assert_eq!(a.snapshot(), AmStats::default());
+    }
+
+    #[test]
+    fn delta_isolates_a_phase() {
+        let fabric = FabricMetrics::new(true);
+        let lamellae = LamellaeMetrics::new(true);
+        let executor = ExecutorMetrics::new(true, 1);
+        let am = AmMetrics::new(true);
+
+        fabric.record_put(8, true);
+        lamellae.record_send(100);
+        let before = RuntimeStats {
+            fabric: fabric.snapshot(),
+            lamellae: lamellae.snapshot(),
+            executor: executor.snapshot(),
+            am: am.snapshot(),
+        };
+
+        fabric.record_put(1 << 12, false);
+        fabric.record_get(32);
+        lamellae.record_send(50);
+        lamellae.record_flush();
+        executor.record_spawn();
+        executor.record_complete();
+        executor.record_steal();
+        executor.record_queue_depth(0, 7);
+        am.record_sent();
+        am.record_sub_batches(3);
+        am.record_darc_created();
+
+        let after = RuntimeStats {
+            fabric: fabric.snapshot(),
+            lamellae: lamellae.snapshot(),
+            executor: executor.snapshot(),
+            am: am.snapshot(),
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.fabric.puts, 1);
+        assert_eq!(d.fabric.rendezvous_puts, 1);
+        assert_eq!(d.fabric.inject_puts, 0);
+        assert_eq!(d.fabric.gets, 1);
+        assert_eq!(d.fabric.bytes_put, 1 << 12);
+        assert_eq!(d.fabric.put_sizes.count(), 1);
+        assert_eq!(d.lamellae.msgs_sent, 1);
+        assert_eq!(d.lamellae.bytes_sent, 50);
+        assert_eq!(d.lamellae.flushes, 1);
+        assert_eq!(d.executor.spawned, 1);
+        assert_eq!(d.executor.completed, 1);
+        assert_eq!(d.executor.stolen, 1);
+        assert_eq!(d.executor.queue_depth_hwm, vec![7]);
+        assert_eq!(d.am.sent, 1);
+        assert_eq!(d.am.batch_sub_batches, 3);
+        assert_eq!(d.am.darcs_created, 1);
+        // delta of equal snapshots is all-zero (except gauges).
+        let same = after.delta(&after);
+        assert_eq!(same.fabric, FabricStats::default());
+        assert_eq!(same.am, AmStats::default());
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        let h = SizeHistogram::new();
+        h.record(0);
+        h.record(1); // both land in bucket 0: [0,1]
+        h.record(2); // bucket 1: (1,2]
+        h.record(3); // bucket 2: (2,4]
+        h.record(4); // bucket 2
+        h.record(5); // bucket 3: (4,8]
+        h.record(u64::MAX); // last bucket
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.count(), 7);
+    }
+
+    #[test]
+    fn display_renders_every_layer() {
+        let table = RuntimeStats::default().to_string();
+        for layer in ["fabric", "lamellae", "executor", "am"] {
+            assert!(table.contains(layer), "missing layer {layer} in:\n{table}");
+        }
+        assert!(table.contains("inject_puts"));
+        assert!(table.contains("wire_parks"));
+        assert!(table.contains("queue_depth_hwm"));
+        assert!(table.contains("batch_sub_batches"));
+    }
+
+    #[test]
+    fn max_gauge_keeps_maximum() {
+        let g = MaxGauge::new();
+        g.record(3);
+        g.record(9);
+        g.record(5);
+        assert_eq!(g.get(), 9);
+    }
+}

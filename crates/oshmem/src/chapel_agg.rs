@@ -209,8 +209,8 @@ mod tests {
                 agg.copy(&ctx, &mut out, other, slot, 7 - slot);
             }
             agg.flush_all(&ctx, &mut out);
-            for slot in 0..8 {
-                assert_eq!(out[slot], (other * 100 + 7 - slot) as u64);
+            for (slot, v) in out.iter().enumerate() {
+                assert_eq!(*v, (other * 100 + 7 - slot) as u64);
             }
             ctx.barrier_all();
         });

@@ -192,14 +192,13 @@ impl<T: Copy> Exstack2<T> {
         for dst in 0..ctx.n_pes() {
             self.transmit(ctx, dst);
         }
-        if im_done {
-            if !self.announced_done {
+        if im_done
+            && !self.announced_done {
                 self.announced_done = true;
                 for pe in 0..ctx.n_pes() {
                     ctx.atomic_u64(self.done, pe, ctx.my_pe()).store(1, Ordering::Release);
                 }
             }
-        }
         if !self.inbox.is_empty() {
             self.why.0 += 1;
             return true;

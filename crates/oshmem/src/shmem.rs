@@ -41,7 +41,7 @@ pub struct SymSlice<T> {
 
 impl<T> Clone for SymSlice<T> {
     fn clone(&self) -> Self {
-        SymSlice { offset: self.offset, len: self.len, _marker: PhantomData }
+        *self
     }
 }
 impl<T> Copy for SymSlice<T> {}
@@ -250,11 +250,12 @@ where
     R: Send + 'static,
     F: Fn(ShmemCtx) -> R + Send + Sync + 'static,
 {
-    let endpoints = Fabric::new(FabricConfig {
+    let endpoints = Fabric::launch(FabricConfig {
         num_pes,
         sym_len: sym_mb << 20,
         heap_len: 1 << 20,
         net: NetConfig::from_env(),
+        metrics: true,
     });
     let world = Arc::new(ShmemWorld { sym_calls: Mutex::new(HashMap::new()) });
     let f = Arc::new(f);

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! All workspace benches use `harness = false` with the classic
+//! `criterion_group!`/`criterion_main!` entry points, so this shim
+//! provides just enough of the API for them to compile and run: each
+//! `Bencher::iter` closure is warmed up briefly, then timed over a small
+//! fixed number of batches, and a single mean-per-iteration line is
+//! printed. There is no statistical analysis, no HTML report, and no
+//! saved baselines — the numbers are indicative, not publishable.
+//! Throughput declarations are used to also print MB/s when present.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible hint; upstream criterion's `black_box` now
+/// forwards to `std::hint::black_box` as well.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput for a benchmark, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for parameterized benchmarks: `BenchmarkId::new("am", size)`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Accumulated (total duration, iteration count) for the timed batches.
+    result: Option<(Duration, u64)>,
+    sample_size: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~20ms have elapsed to settle caches/locks.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Pick a batch size targeting ~10ms per batch, bounded to keep
+        // total runtime sane for slow (multi-ms) payloads.
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let batch = ((10_000_000 / per_iter.max(1)) as u64).clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            iters += batch;
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Upstream takes the number of samples; we cap it because each of
+        // our samples is already a ~10ms batch.
+        self.sample_size = (n as u64).clamp(1, 20);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { result: None, sample_size: self.sample_size };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { result: None, sample_size: self.sample_size };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let Some((total, iters)) = b.result else {
+            println!("{}/{id}: no measurement (iter was never called)", self.name);
+            return;
+        };
+        let ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                format!("  ({:.1} MiB/s)", bytes as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+            }
+            None => String::new(),
+        };
+        println!("{}/{id}: {}{}", self.name, fmt_ns(ns), rate);
+        let _ = &self.criterion; // group lifetime ties reports to the runner
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us/iter", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// The top-level benchmark runner.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup { criterion: self, name, sample_size: 5, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("run", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(8));
+        let mut ran = false;
+        group.bench_function("add", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_upstream() {
+        assert_eq!(BenchmarkId::new("am", 256).to_string(), "am/256");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! Provides the `Injector` / `Worker` / `Stealer` / `Steal` surface the
+//! executor uses, implemented over `Arc<Mutex<VecDeque>>` rather than the
+//! real lock-free Chase-Lev deques. Semantics match the upstream crate:
+//! a LIFO worker pushes and pops at the back of its deque while stealers
+//! take from the front, so the owner keeps cache-hot tasks and thieves
+//! get the coldest ones. Performance is obviously not lock-free-grade,
+//! but the scheduling behaviour (and therefore every test that asserts
+//! on steal counts) is preserved.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+type Shared<T> = Arc<Mutex<VecDeque<T>>>;
+
+/// Global FIFO injection queue shared by all workers.
+pub struct Injector<T> {
+    queue: Shared<T>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Move roughly half the queue into `dest`'s local deque, returning one
+    /// task directly (the upstream contention-amortizing refill path).
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.queue.lock().unwrap();
+        let take = (q.len() / 2).max(1);
+        let mut first = None;
+        let mut dq = dest.queue.lock().unwrap();
+        for _ in 0..take {
+            match q.pop_front() {
+                Some(t) if first.is_none() => first = Some(t),
+                Some(t) => dq.push_back(t),
+                None => break,
+            }
+        }
+        match first {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+/// A worker's local deque. LIFO flavor: owner pushes/pops at the back.
+pub struct Worker<T> {
+    queue: Shared<T>,
+}
+
+impl<T> Worker<T> {
+    pub fn new_lifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    pub fn new_fifo() -> Self {
+        // Same storage; only pop order differs upstream. The workspace only
+        // uses LIFO workers, so FIFO maps to the identical implementation.
+        Self::new_lifo()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().unwrap().pop_back()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+/// Handle for stealing from another worker's deque (front end).
+pub struct Stealer<T> {
+    queue: Shared<T>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.queue.lock().unwrap();
+        let take = (q.len() / 2).max(1);
+        let mut first = None;
+        let mut dq = dest.queue.lock().unwrap();
+        for _ in 0..take {
+            match q.pop_front() {
+                Some(t) if first.is_none() => first = Some(t),
+                Some(t) => dq.push_back(t),
+                None => break,
+            }
+        }
+        match first {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_takes_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        // Owner pops the newest...
+        assert_eq!(w.pop(), Some(3));
+        // ...while a thief takes the oldest.
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn batch_steal_moves_half_and_pops_one() {
+        let inj = Injector::new();
+        for i in 0..8 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Half of 8 = 4 moved in total: one returned, three landed locally.
+        assert_eq!(w.len(), 3);
+        assert_eq!(inj.len(), 4);
+    }
+}

@@ -1,0 +1,589 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the `proptest!` macro with `#![proptest_config(..)]`, `name in strategy`
+//!   and `name: Type` (Arbitrary) parameters, freely mixed;
+//! * `Strategy` with `prop_map`, tuple/range/`&str` strategies, `prop_oneof!`,
+//!   `any::<T>()`, `prop::collection::vec`, and `num::f64::{NORMAL, ZERO}`;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the inputs baked into the
+//!   assertion message; it is not minimized.
+//! * **Deterministic generation.** Every test fn runs a fixed-seed SplitMix64
+//!   sequence, so failures reproduce exactly across runs and machines.
+//! * **`&str` strategies ignore the regex** and generate arbitrary short
+//!   UTF-8 strings. The workspace only ever uses the pattern `".*"`, for
+//!   which this is exactly the right distribution.
+
+pub mod test_runner {
+    /// Execution knobs; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Matches upstream's default case count.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 used for all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed | 1 }
+        }
+
+        /// Fixed seed so test failures reproduce bit-exactly.
+        pub fn deterministic() -> Self {
+            Self::new(0x1a3e11a6_5eed_0001)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut z = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            self.state = z;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)` via 128-bit multiply-shift.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generator of values of type `Value`. Unlike upstream there is no
+    /// value tree: `new_value` draws a concrete value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Derived strategy applying `f` to each generated value.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] so unions can mix concrete types.
+    pub trait DynStrategy<V> {
+        fn dyn_value(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// Type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_value(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives (the `prop_oneof!` backend).
+    pub struct Union<V> {
+        alternatives: Vec<Box<dyn DynStrategy<V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(alternatives: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { alternatives }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.alternatives.len() as u64) as usize;
+            self.alternatives[i].dyn_value(rng)
+        }
+    }
+
+    /// `Just(v)` always yields clones of `v`.
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+
+        fn new_value(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    assert!(span > 0, "empty strategy range");
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                    (*self.start() as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Upstream interprets `&str` as a regex; the shim ignores the pattern
+    /// and produces arbitrary short UTF-8 strings (multibyte included),
+    /// which matches the `".*"` patterns the workspace uses.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::arbitrary::arbitrary_string(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical generation strategy (`name: Type` params).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias toward boundary values, like upstream's binary
+                    // search shrinking tends to surface.
+                    match rng.next_u64() & 0xf {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite doubles only; NaN/inf generation is opt-in upstream too.
+            loop {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_finite() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            arbitrary_char(rng)
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            arbitrary_string(rng)
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(T::arbitrary(rng))
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let len = rng.below(33) as usize;
+            (0..len).map(|_| T::arbitrary(rng)).collect()
+        }
+    }
+
+    macro_rules! arb_tuple {
+        ($(($($t:ident),+))*) => {$(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($t::arbitrary(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    arb_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    pub(crate) fn arbitrary_char(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, with multibyte code points mixed in to
+        // stress UTF-8 length handling in the codec.
+        match rng.next_u64() & 7 {
+            0 => char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('é'),
+            1 => ['é', '中', '🦀', '\u{0}', '\n', '"', '\\'][rng.below(7) as usize],
+            _ => (0x20u8 + rng.below(0x5f) as u8) as char,
+        }
+    }
+
+    pub(crate) fn arbitrary_string(rng: &mut TestRng) -> String {
+        let len = rng.below(33) as usize;
+        (0..len).map(|_| arbitrary_char(rng)).collect()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s of `elem` values with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    /// Float class strategies, combinable with `|` like upstream's.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Bitmask of allowed f64 classes; `|` unions the classes.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct F64Class(u32);
+
+        pub const NORMAL: F64Class = F64Class(1);
+        pub const ZERO: F64Class = F64Class(2);
+        pub const SUBNORMAL: F64Class = F64Class(4);
+        pub const INFINITE: F64Class = F64Class(8);
+
+        impl core::ops::BitOr for F64Class {
+            type Output = F64Class;
+            fn bitor(self, rhs: F64Class) -> F64Class {
+                F64Class(self.0 | rhs.0)
+            }
+        }
+
+        impl Strategy for F64Class {
+            type Value = f64;
+
+            fn new_value(&self, rng: &mut TestRng) -> f64 {
+                let classes: Vec<u32> = (0..4).filter(|b| self.0 & (1 << b) != 0).collect();
+                assert!(!classes.is_empty(), "empty f64 class mask");
+                let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+                match classes[rng.below(classes.len() as u64) as usize] {
+                    0 => loop {
+                        let v = f64::from_bits(rng.next_u64());
+                        if v.is_normal() {
+                            return v;
+                        }
+                    },
+                    1 => sign * 0.0,
+                    2 => sign * f64::from_bits(rng.below((1u64 << 52) - 1) + 1),
+                    _ => sign * f64::INFINITY,
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Shim `prop_assert!`: panics instead of returning `Err` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+/// Weighted alternatives (`w => strat`) are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::DynStrategy<_>>),+
+        ])
+    };
+}
+
+/// The `proptest!` test-harness macro. Parses an optional
+/// `#![proptest_config(..)]` header then any number of test fns whose
+/// parameters are either `name in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::proptest!(@bind __rng, $($params)*);
+                $body
+            }
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $pname:ident in $strat:expr, $($rest:tt)*) => {
+        let $pname = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $pname:ident in $strat:expr) => {
+        let $pname = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident, $pname:ident : $pty:ty, $($rest:tt)*) => {
+        let $pname: $pty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $pname:ident : $pty:ty) => {
+        let $pname: $pty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..10_000 {
+            let v = Strategy::new_value(&(10usize..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let w = Strategy::new_value(&(-5i16..5), &mut rng);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_sequence() {
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_alternatives() {
+        let strat = prop_oneof![
+            (0usize..1).prop_map(|_| 'a'),
+            (0usize..1).prop_map(|_| 'b'),
+            (0usize..1).prop_map(|_| 'c'),
+        ];
+        let mut rng = TestRng::deterministic();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.new_value(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn vec_strategy_honors_size_range() {
+        let strat = prop::collection::vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::deterministic();
+        for _ in 0..500 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn f64_classes_generate_members() {
+        let strat = crate::num::f64::NORMAL | crate::num::f64::ZERO;
+        let mut rng = TestRng::deterministic();
+        let (mut normals, mut zeros) = (0, 0);
+        for _ in 0..500 {
+            let v = strat.new_value(&mut rng);
+            if v == 0.0 {
+                zeros += 1;
+            } else {
+                assert!(v.is_normal());
+                normals += 1;
+            }
+        }
+        assert!(normals > 0 && zeros > 0);
+    }
+
+    // The macro itself, exercised end-to-end with mixed parameter styles.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_mixed_params(a in 0u64..100, b: u64, s in ".*", o: Option<i16>) {
+            prop_assert!(a < 100);
+            let _ = (b, o);
+            prop_assert_eq!(s.len(), s.chars().map(|c| c.len_utf8()).sum::<usize>());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v: Vec<(u32, String, Option<i16>)>) {
+            prop_assert!(v.len() <= 32);
+        }
+    }
+}

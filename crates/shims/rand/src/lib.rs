@@ -1,0 +1,111 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the tiny slice of `rand` 0.8 the workspace calls —
+//! `thread_rng()` plus `Rng::gen_range`/`gen` — over a per-thread
+//! SplitMix64 generator seeded from the thread id and clock. SplitMix64
+//! passes BigCrush-level statistical smoke tests, which is far more than
+//! the histogram/index-gather example drivers need; this is NOT a
+//! cryptographic generator and must never be used as one.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+/// Minimal mirror of `rand::Rng` for the methods the workspace uses.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range` by rejection-free multiply-shift reduction
+    /// (Lemire); bias is < 2^-32 for the range sizes used here.
+    fn gen_range(&mut self, range: Range<usize>) -> usize {
+        let span = range.end.checked_sub(range.start).expect("non-empty range") as u128;
+        assert!(span > 0, "cannot sample an empty range");
+        let x = self.next_u64() as u128;
+        range.start + ((x * span) >> 64) as usize
+    }
+
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Per-thread RNG handle, mirroring `rand::rngs::ThreadRng`.
+#[derive(Clone, Debug)]
+pub struct ThreadRng;
+
+thread_local! {
+    static STATE: Cell<u64> = Cell::new(seed());
+}
+
+fn seed() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9e3779b97f4a7c15)
+        .hash(&mut h);
+    h.finish() | 1
+}
+
+fn splitmix64(state: &Cell<u64>) -> u64 {
+    let mut z = state.get().wrapping_add(0x9e3779b97f4a7c15);
+    state.set(z);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        STATE.with(splitmix64)
+    }
+}
+
+/// Handle to the calling thread's generator, like `rand::thread_rng()`.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng
+}
+
+pub mod rngs {
+    pub use super::ThreadRng;
+}
+
+pub mod prelude {
+    pub use super::{thread_rng, Rng, ThreadRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = thread_rng();
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_bucket() {
+        let mut rng = thread_rng();
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[rng.gen_range(0..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "8-bucket draw left a bucket empty");
+    }
+
+    #[test]
+    fn sequence_is_not_constant() {
+        let mut rng = thread_rng();
+        let first = rng.next_u64();
+        assert!((0..64).any(|_| rng.next_u64() != first));
+    }
+}

@@ -8,8 +8,7 @@
 //! LAMELLAR_PES=5 LAPS=3 cargo run --release --example am_chains
 //! ```
 
-use lamellar_core::darc::Darc;
-use lamellar_core::prelude::*;
+use lamellar_repro::prelude::*;
 use lamellar_repro::util::env_usize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -26,27 +25,25 @@ lamellar_core::impl_codec!(RingAm { counter, hops, trail });
 
 impl LamellarAm for RingAm {
     type Output = Vec<usize>;
-    fn exec(self, ctx: AmContext) -> impl std::future::Future<Output = Vec<usize>> + Send {
-        async move {
-            // Each PE has its own *independent instance* behind the Darc;
-            // deref reaches the local one.
-            self.counter.fetch_add(1, Ordering::Relaxed);
-            let mut trail = self.trail;
-            trail.push(ctx.current_pe());
-            if self.hops == 0 {
-                trail
-            } else {
-                // Launch the next hop from inside this AM — a nested AM via
-                // the ambient world handle.
-                let next = (ctx.current_pe() + 1) % ctx.num_pes();
-                let world = ctx.world();
-                world
-                    .exec_am_pe(
-                        next,
-                        RingAm { counter: self.counter.clone(), hops: self.hops - 1, trail },
-                    )
-                    .await
-            }
+    async fn exec(self, ctx: AmContext) -> Vec<usize> {
+        // Each PE has its own *independent instance* behind the Darc;
+        // deref reaches the local one.
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        let mut trail = self.trail;
+        trail.push(ctx.current_pe());
+        if self.hops == 0 {
+            trail
+        } else {
+            // Launch the next hop from inside this AM — a nested AM via
+            // the ambient world handle.
+            let next = (ctx.current_pe() + 1) % ctx.num_pes();
+            let world = ctx.world();
+            world
+                .exec_am_pe(
+                    next,
+                    RingAm { counter: self.counter.clone(), hops: self.hops - 1, trail },
+                )
+                .await
         }
     }
 }

@@ -21,9 +21,7 @@
 //! LAMELLAR_PES=4 VERTICES=20000 DEGREE=8 cargo run --release --example bfs
 //! ```
 
-use lamellar_array::iter::DistIterExt;
-use lamellar_array::prelude::*;
-use lamellar_core::active_messaging::prelude::*;
+use lamellar_repro::prelude::*;
 use lamellar_repro::util::env_usize;
 
 const UNSET: u64 = u64::MAX;

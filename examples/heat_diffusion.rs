@@ -13,8 +13,7 @@
 //! LAMELLAR_PES=4 GRID=4096 STEPS=200 cargo run --release --example heat_diffusion
 //! ```
 
-use lamellar_array::prelude::*;
-use lamellar_core::active_messaging::prelude::*;
+use lamellar_repro::prelude::*;
 use lamellar_repro::util::env_usize;
 
 fn main() {

@@ -7,8 +7,7 @@
 //! LAMELLAR_PES=4 T_LEN=100000 L_UPDATES=1000000 cargo run --release --example histogram
 //! ```
 
-use lamellar_array::prelude::*;
-use lamellar_core::active_messaging::prelude::*;
+use lamellar_repro::prelude::*;
 use lamellar_repro::util::env_usize;
 use rand::Rng;
 use std::time::Instant;

@@ -6,8 +6,7 @@
 //! LAMELLAR_PES=4 cargo run --release --example index_gather
 //! ```
 
-use lamellar_array::prelude::*;
-use lamellar_core::active_messaging::prelude::*;
+use lamellar_repro::prelude::*;
 use lamellar_repro::util::env_usize;
 use rand::Rng;
 use std::time::Instant;

@@ -6,7 +6,7 @@
 //! LAMELLAR_PES=4 cargo run --release --example quickstart
 //! ```
 
-use lamellar_core::active_messaging::prelude::*;
+use lamellar_repro::prelude::*;
 
 // #[AmData] + #[am] in the paper; the am! macro here generates the struct,
 // its serialization, and the LamellarAm impl in one declaration.

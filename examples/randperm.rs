@@ -11,7 +11,7 @@ use bale_suite::common::PermConfig;
 use bale_suite::randperm::{
     randperm_am_darts, randperm_am_darts_opt, randperm_am_push, randperm_array_darts,
 };
-use lamellar_core::active_messaging::prelude::*;
+use lamellar_repro::prelude::*;
 use lamellar_repro::util::env_usize;
 
 fn main() {

@@ -1,1 +1,26 @@
+//! Top-level crate of the Lamellar reproduction: examples, integration
+//! tests, and the unified [`prelude`].
+
 pub mod util;
+
+/// One-stop imports for applications: the Active Message machinery and
+/// world launchers (from `lamellar-core`), the distributed array types
+/// (from `lamellar-array`), and the typed observability snapshots read
+/// through `world.stats()` (from `lamellar-metrics`).
+///
+/// ```ignore
+/// use lamellar_repro::prelude::*;
+///
+/// launch(2, |world| {
+///     let before = world.stats();
+///     // ... run a phase ...
+///     println!("{}", world.stats().delta(&before));
+/// });
+/// ```
+pub mod prelude {
+    pub use lamellar_array::prelude::*;
+    pub use lamellar_core::prelude::*;
+    pub use lamellar_metrics::{
+        AmStats, ExecutorStats, FabricStats, HistogramSnapshot, LamellaeStats, RuntimeStats,
+    };
+}

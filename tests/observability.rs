@@ -1,0 +1,122 @@
+//! Integration coverage for the typed `world.stats()` observability API:
+//! a 2-PE `exec_am_all` round trip must increment the fabric, lamellae,
+//! and AM counters by exactly the amounts the wire protocol implies.
+//!
+//! Runs with the cost model off (the default), so the counts below are
+//! deterministic:
+//!
+//! * Each PE's `exec_am_all` is one local AM (no serialization) plus one
+//!   remote AM. With the aggregation threshold dropped below one frame,
+//!   every frame leaves as its own wire chunk at `send` time (the default
+//!   100 KiB threshold would let a reply ride the same flushed chunk as a
+//!   still-parked request, making chunk counts timing-dependent). So each
+//!   PE pushes exactly 2 chunks (2 fabric puts) and drains exactly 2
+//!   incoming chunks (2 fabric gets). Fabric counters are fabric-global,
+//!   so both PEs observe 4 puts and 4 gets.
+//! * The snapshot window contains 2 barriers (the one separating the
+//!   `before` snapshot from the phase, and the one before `after`), each
+//!   entered by 2 PEs → 4 barrier rounds.
+
+use lamellar_repro::prelude::*;
+
+lamellar_core::am! {
+    /// Minimal AM: returns the executing PE's id.
+    pub struct WhoAmI {}
+    exec(_am, ctx) -> u64 {
+        ctx.current_pe() as u64
+    }
+}
+
+#[test]
+fn two_pe_am_round_trip_increments_every_layer() {
+    // 16 B is below any framed envelope, so chunks are emitted eagerly;
+    // it is also above the test's AM payloads (empty request, u64 reply),
+    // so nothing detours through the large-payload heap path.
+    let cfg = WorldConfig::new(2).backend(Backend::Rofi).agg_threshold(16);
+    let deltas = lamellar_core::world::launch_with_config(cfg, |world| {
+        world.barrier();
+        let before = world.stats();
+        // Nobody starts the phase until every PE has its `before` snapshot,
+        // so the fabric-global counters are sampled consistently.
+        world.barrier();
+
+        let replies = world.block_on(world.exec_am_all(WhoAmI {}));
+        assert_eq!(replies, vec![0, 1]);
+        world.wait_all();
+
+        // All traffic (requests, replies) has landed once both PEs pass
+        // wait_all; the barrier makes that mutual.
+        world.barrier();
+        world.stats().delta(&before)
+    });
+
+    for (pe, d) in deltas.iter().enumerate() {
+        // AM layer (per PE): one local, one sent, one received, one reply
+        // each way.
+        assert_eq!(d.am.local, 1, "PE{pe} local AMs");
+        assert_eq!(d.am.sent, 1, "PE{pe} remote AMs sent");
+        assert_eq!(d.am.received, 1, "PE{pe} AMs received");
+        assert_eq!(d.am.replies_sent, 1, "PE{pe} replies sent");
+        assert_eq!(d.am.replies_received, 1, "PE{pe} replies received");
+
+        // Lamellae layer (per PE): the request frame and the reply frame
+        // each leave as their own aggregated chunk; the peer's request and
+        // reply arrive as two chunks.
+        assert_eq!(d.lamellae.msgs_sent, 2, "PE{pe} framed messages sent");
+        assert_eq!(d.lamellae.msgs_received, 2, "PE{pe} wire chunks received");
+        assert_eq!(d.lamellae.flushes, 2, "PE{pe} chunks handed to the wire");
+        assert!(d.lamellae.bytes_sent > 0 && d.lamellae.bytes_received > 0);
+        // Two wire buffers per destination and at most two chunks in
+        // flight: backpressure can never park a chunk here.
+        assert_eq!(d.lamellae.wire_parks, 0, "PE{pe} parked chunks");
+
+        // Fabric layer (fabric-global, identical on both PEs): one put per
+        // outgoing chunk and one get per incoming chunk, world-wide.
+        assert_eq!(d.fabric.puts, 4, "PE{pe} fabric puts");
+        assert_eq!(d.fabric.gets, 4, "PE{pe} fabric gets");
+        assert_eq!(
+            d.fabric.inject_puts + d.fabric.rendezvous_puts,
+            d.fabric.puts,
+            "PE{pe} inject/rendezvous split covers all puts"
+        );
+        // Both PEs enter 2 barriers inside the window, but the *other* PE's
+        // first entry can race this PE's `before` snapshot, and a faster
+        // peer may already have entered the world-teardown barrier — the
+        // global count lands between 3 and 5.
+        assert!(
+            (3..=5).contains(&d.fabric.barrier_rounds),
+            "PE{pe} barrier rounds in window: {}",
+            d.fabric.barrier_rounds
+        );
+        assert_eq!(d.fabric.put_sizes.count(), 4, "PE{pe} put-size histogram");
+
+        // Executor layer (per PE): the local AM and the incoming remote AM
+        // each spawn one task. Completion of the reply-sending task can
+        // race the final snapshot, so only spawns are exact.
+        assert_eq!(d.executor.spawned, 2, "PE{pe} tasks spawned");
+        assert!(d.executor.completed >= 1, "PE{pe} tasks completed");
+    }
+
+    // The Display form is the README's table; spot-check its shape.
+    let rendered = format!("{}", deltas[0]);
+    for needle in ["fabric", "lamellae", "executor", "am", "puts", "msgs_sent", "spawned"] {
+        assert!(rendered.contains(needle), "stats table missing {needle:?}:\n{rendered}");
+    }
+}
+
+#[test]
+fn disabled_metrics_read_zero_everywhere() {
+    let cfg = WorldConfig::new(2).backend(Backend::Rofi).metrics(false);
+    let stats = lamellar_core::world::launch_with_config(cfg, |world| {
+        let replies = world.block_on(world.exec_am_all(WhoAmI {}));
+        assert_eq!(replies, vec![0, 1]);
+        world.barrier();
+        world.stats()
+    });
+    for (pe, s) in stats.iter().enumerate() {
+        assert_eq!(s.fabric.puts + s.fabric.gets, 0, "PE{pe} fabric");
+        assert_eq!(s.lamellae.msgs_sent + s.lamellae.msgs_received, 0, "PE{pe} lamellae");
+        assert_eq!(s.executor.spawned, 0, "PE{pe} executor");
+        assert_eq!(s.am.sent + s.am.local + s.am.received, 0, "PE{pe} am");
+    }
+}
