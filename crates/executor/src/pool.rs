@@ -75,7 +75,12 @@ impl Schedule for PoolInner {
                 if let Some(cur) = cw.borrow().as_ref() {
                     if cur.pool_id == self.id {
                         cur.worker.push(task.clone());
-                        self.metrics.record_queue_depth(cur.index, cur.worker.len() as u64);
+                        // Guard here, not just inside the recorder: len() on the
+                        // shim deque takes a lock, which the disabled path must
+                        // not pay.
+                        if self.metrics.enabled() {
+                            self.metrics.record_queue_depth(cur.index, cur.worker.len() as u64);
+                        }
                         return true;
                     }
                 }

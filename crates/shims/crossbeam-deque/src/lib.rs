@@ -65,19 +65,22 @@ impl<T> Injector<T> {
     /// Move roughly half the queue into `dest`'s local deque, returning one
     /// task directly (the upstream contention-amortizing refill path).
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-        let mut q = self.queue.lock().unwrap();
-        let take = (q.len() / 2).max(1);
-        let mut first = None;
-        let mut dq = dest.queue.lock().unwrap();
-        for _ in 0..take {
-            match q.pop_front() {
-                Some(t) if first.is_none() => first = Some(t),
-                Some(t) => dq.push_back(t),
-                None => break,
+        // Never hold the victim and destination locks at once: two workers
+        // batch-stealing from each other would take them in opposite orders
+        // (ABBA deadlock). Drain into a local buffer, drop the victim lock,
+        // then refill dest.
+        let mut batch = {
+            let mut q = self.queue.lock().unwrap();
+            let take = (q.len() / 2).max(1).min(q.len());
+            q.drain(..take).collect::<VecDeque<T>>()
+        };
+        match batch.pop_front() {
+            Some(t) => {
+                if !batch.is_empty() {
+                    dest.queue.lock().unwrap().extend(batch);
+                }
+                Steal::Success(t)
             }
-        }
-        match first {
-            Some(t) => Steal::Success(t),
             None => Steal::Empty,
         }
     }
@@ -148,19 +151,21 @@ impl<T> Stealer<T> {
     }
 
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-        let mut q = self.queue.lock().unwrap();
-        let take = (q.len() / 2).max(1);
-        let mut first = None;
-        let mut dq = dest.queue.lock().unwrap();
-        for _ in 0..take {
-            match q.pop_front() {
-                Some(t) if first.is_none() => first = Some(t),
-                Some(t) => dq.push_back(t),
-                None => break,
+        // Same two-phase protocol as `Injector::steal_batch_and_pop`: drain
+        // under the victim lock only, then push under the dest lock only,
+        // so opposing batch-steals can never ABBA-deadlock.
+        let mut batch = {
+            let mut q = self.queue.lock().unwrap();
+            let take = (q.len() / 2).max(1).min(q.len());
+            q.drain(..take).collect::<VecDeque<T>>()
+        };
+        match batch.pop_front() {
+            Some(t) => {
+                if !batch.is_empty() {
+                    dest.queue.lock().unwrap().extend(batch);
+                }
+                Steal::Success(t)
             }
-        }
-        match first {
-            Some(t) => Steal::Success(t),
             None => Steal::Empty,
         }
     }
@@ -201,6 +206,46 @@ mod tests {
         assert_eq!(inj.steal(), Steal::Success("a"));
         assert_eq!(inj.steal(), Steal::Success("b"));
         assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn opposing_batch_steals_do_not_deadlock() {
+        // Regression test: two workers batch-stealing from each other used
+        // to lock (victim, dest) in opposite orders — an ABBA deadlock.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let a = Arc::new(Worker::new_lifo());
+        let b = Arc::new(Worker::new_lifo());
+        let steal_a = a.stealer();
+        let steal_b = b.stealer();
+        for i in 0..1024 {
+            a.push(i);
+            b.push(i);
+        }
+        let done = Arc::new(AtomicBool::new(false));
+        let t1 = {
+            let (a, done) = (Arc::clone(&a), Arc::clone(&done));
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    let _ = steal_b.steal_batch_and_pop(&a);
+                    a.push(0);
+                }
+            })
+        };
+        let t2 = {
+            let (b, done) = (Arc::clone(&b), Arc::clone(&done));
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    let _ = steal_a.steal_batch_and_pop(&b);
+                    b.push(0);
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        done.store(true, Ordering::Relaxed);
+        t1.join().unwrap();
+        t2.join().unwrap();
     }
 
     #[test]

@@ -28,7 +28,16 @@ pub trait Rng {
     }
 
     fn gen_bool(&mut self, p: f64) -> bool {
-        (self.next_u64() as f64 / u64::MAX as f64) < p
+        // Match rand 0.8's guarantees at the endpoints (p>=1.0 is always
+        // true, p<=0.0 always false) and compare in integer space so low
+        // bits aren't lost to the f64 division.
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.next_u64() < (p * u64::MAX as f64) as u64
     }
 }
 
