@@ -95,6 +95,9 @@ impl lamellar_codec::Codec for Layout {
         self.num_ranks.encode(buf);
         self.dist.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        8 + 8 + self.dist.encoded_len()
+    }
     fn decode(r: &mut lamellar_codec::Reader<'_>) -> lamellar_codec::Result<Self> {
         Ok(Layout {
             glen: usize::decode(r)?,

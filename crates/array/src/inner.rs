@@ -75,11 +75,9 @@ impl<T: ArrayElem> RawArray<T> {
         let layout = Layout::new(glen, team.num_pes(), dist);
         // Same-size block on every PE: the max local length.
         let region = team.alloc_shared_mem_region::<T>(layout.max_local_len());
-        let needs_locks =
-            access == Access::Atomic && (!T::NATIVE_ATOMIC || force_generic);
+        let needs_locks = access == Access::Atomic && (!T::NATIVE_ATOMIC || force_generic);
         let locks = needs_locks.then(|| team.alloc_shared_mem_region::<u8>(layout.max_local_len()));
-        let local_lock = (access == Access::LocalLock)
-            .then(|| Darc::new(team, RwLock::new(())));
+        let local_lock = (access == Access::LocalLock).then(|| Darc::new(team, RwLock::new(())));
         team.barrier();
         RawArray {
             region,
@@ -181,9 +179,7 @@ impl<T: ArrayElem> RawArray<T> {
             let run = match self.layout.dist {
                 // Consecutive globals stay consecutive locals within a
                 // rank's block.
-                Distribution::Block => {
-                    (self.layout.local_len(rank) - local).min(len - i)
-                }
+                Distribution::Block => (self.layout.local_len(rank) - local).min(len - i),
                 // Consecutive globals hop ranks every element.
                 Distribution::Cyclic => 1,
             };
@@ -209,8 +205,9 @@ impl<T: ArrayElem> RawArray<T> {
     /// reference to the array on each PE".
     pub(crate) fn wait_unique(&self, team: &LamellarTeam) {
         let expected = team.num_pes();
+        let mut backoff = lamellar_executor::Backoff::new();
         while self.region.handle_count() > expected {
-            std::thread::yield_now();
+            backoff.snooze();
         }
     }
 }
@@ -225,6 +222,19 @@ impl<T: ArrayElem> Codec for RawArray<T> {
         self.force_generic.encode(buf);
         self.view_offset.encode(buf);
         self.view_len.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        // `region` (and the lock Darcs) pin on encode — size without
+        // encoding so the hot send path can pre-reserve its frame.
+        self.region.encoded_len()
+            + self.layout.encoded_len()
+            + self.access.encoded_len()
+            + self.locks.encoded_len()
+            + self.local_lock.encoded_len()
+            + self.force_generic.encoded_len()
+            + self.view_offset.encoded_len()
+            + self.view_len.encoded_len()
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {

@@ -229,11 +229,7 @@ fn eval_pairs<T: ArrayElem, F: ItemFn<T>>(
     let locals: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
     // One access-mode-respecting batch read, then pure chain evaluation.
     let values = apply::apply_load(raw, &locals);
-    pairs
-        .iter()
-        .zip(values)
-        .filter_map(|(&(_, idx), v)| f.apply(idx, v))
-        .collect()
+    pairs.iter().zip(values).filter_map(|(&(_, idx), v)| f.apply(idx, v)).collect()
 }
 
 fn spawn_chunks<T: ArrayElem, F: ItemFn<T>>(
@@ -282,9 +278,7 @@ impl<T: ArrayElem, F: ItemFn<T>> DistIter<T, F> {
     }
 
     /// Collect this PE's produced items (ascending global index).
-    pub fn collect_local(
-        self,
-    ) -> Pin<Box<dyn Future<Output = Vec<F::Out>> + Send + 'static>> {
+    pub fn collect_local(self) -> Pin<Box<dyn Future<Output = Vec<F::Out>> + Send + 'static>> {
         let handles = spawn_chunks(&self.raw, &self.team, &self.f, self.my_pairs());
         Box::pin(async move {
             let mut out = Vec::new();
@@ -352,10 +346,7 @@ impl<T: ArrayElem, F: ItemFn<T>> LocalIter<T, F> {
 
     /// Zip with another array's local block (same team and layout).
     pub fn zip<T2: ArrayElem>(self, other: &LocalIter<T2, Identity>) -> LocalIter<T, ZipFn<F, T2>> {
-        assert_eq!(
-            self.raw.layout, other.raw.layout,
-            "zip requires identical layouts"
-        );
+        assert_eq!(self.raw.layout, other.raw.layout, "zip requires identical layouts");
         LocalIter {
             raw: self.raw,
             team: self.team,
@@ -494,8 +485,7 @@ impl<T: ArrayElem> Iterator for OneSidedIter<T> {
         let rt = self.team.rt().clone();
         let fetched = if self.stride == 1 {
             let n = self.buffer_elems.min(self.raw.len() - self.next_global);
-            let out =
-                rt.block_on(crate::ops::batch::range_get(&self.raw, self.next_global, n));
+            let out = rt.block_on(crate::ops::batch::range_get(&self.raw, self.next_global, n));
             self.next_global += n;
             out
         } else {

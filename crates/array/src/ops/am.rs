@@ -20,6 +20,11 @@ macro_rules! impl_am_codec {
             fn encode(&self, buf: &mut Vec<u8>) {
                 $( self.$field.encode(buf); )+
             }
+            fn encoded_len(&self) -> usize {
+                // Field sum, no scratch encode: `raw` contains a Darc whose
+                // encode pins — sizing must stay side-effect free.
+                0 $( + self.$field.encoded_len() )+
+            }
             fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
                 Ok($name { $( $field: Codec::decode(r)?, )+ })
             }

@@ -7,9 +7,7 @@
 
 use crate::elem::{ArithElem, ArrayElem, BitElem};
 use crate::inner::RawArray;
-use crate::ops::am::{
-    AccessBatchAm, ArithBatchAm, BitBatchAm, CasBatchAm, RangeGetAm, RangePutAm,
-};
+use crate::ops::am::{AccessBatchAm, ArithBatchAm, BitBatchAm, CasBatchAm, RangeGetAm, RangePutAm};
 use crate::ops::{AccessOp, ArithOp, BatchValues, BitOp};
 use lamellar_core::am::{AmHandle, LamellarAm};
 use std::future::Future;
@@ -243,8 +241,7 @@ pub(crate) fn batch_cas<T: ArrayElem>(
     let (indices, new) = crate::ops::normalize_batch(indices, new);
     let raw2 = raw.clone();
     let fut = launch(raw, indices, limit, true, move |idxs, pos| {
-        let pairs =
-            pos.iter().map(|&i| (current.value_at(i), new.value_at(i))).collect::<Vec<_>>();
+        let pairs = pos.iter().map(|&i| (current.value_at(i), new.value_at(i))).collect::<Vec<_>>();
         CasBatchAm { raw: raw2.clone(), idxs, pairs }
     });
     BatchCasHandle::wrap(fut)
@@ -299,11 +296,7 @@ pub(crate) fn range_put<T: ArrayElem>(
     // Split the global range into per-owner contiguous local runs.
     let mut i = 0;
     for (rank, local, run) in raw.runs(start, vals.len()) {
-        let am = RangePutAm {
-            raw: raw.clone(),
-            start: local,
-            vals: vals[i..i + run].to_vec(),
-        };
+        let am = RangePutAm { raw: raw.clone(), start: local, vals: vals[i..i + run].to_vec() };
         handles.push(rt.exec_am_pe(raw.pe_of_rank(rank), am));
         i += run;
     }

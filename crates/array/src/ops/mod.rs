@@ -141,6 +141,12 @@ impl<T: Codec> Codec for BatchValues<T> {
             }
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            BatchValues::One(v) => v.encoded_len(),
+            BatchValues::Many(vs) => vs.encoded_len(),
+        }
+    }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match r.take_byte()? {
             0 => Ok(BatchValues::One(T::decode(r)?)),
@@ -234,9 +240,30 @@ macro_rules! impl_element_ops {
             $crate::ops::rmw_method_group!(
                 $crate::ops::batch::batch_bit,
                 $crate::ops::BitOp,
-                (bit_and, fetch_bit_and, batch_bit_and, batch_fetch_bit_and, $crate::ops::BitOp::And, "&"),
-                (bit_or, fetch_bit_or, batch_bit_or, batch_fetch_bit_or, $crate::ops::BitOp::Or, "|"),
-                (bit_xor, fetch_bit_xor, batch_bit_xor, batch_fetch_bit_xor, $crate::ops::BitOp::Xor, "^"),
+                (
+                    bit_and,
+                    fetch_bit_and,
+                    batch_bit_and,
+                    batch_fetch_bit_and,
+                    $crate::ops::BitOp::And,
+                    "&"
+                ),
+                (
+                    bit_or,
+                    fetch_bit_or,
+                    batch_bit_or,
+                    batch_fetch_bit_or,
+                    $crate::ops::BitOp::Or,
+                    "|"
+                ),
+                (
+                    bit_xor,
+                    fetch_bit_xor,
+                    batch_bit_xor,
+                    batch_fetch_bit_xor,
+                    $crate::ops::BitOp::Xor,
+                    "^"
+                ),
                 (shl, fetch_shl, batch_shl, batch_fetch_shl, $crate::ops::BitOp::Shl, "<<"),
                 (shr, fetch_shr, batch_shr, batch_fetch_shr, $crate::ops::BitOp::Shr, ">>"),
             );
@@ -246,8 +273,12 @@ macro_rules! impl_element_ops {
             /// Read the element at global `index`.
             pub fn load(&self, index: usize) -> $crate::ops::FetchOpHandle<T> {
                 $crate::ops::batch::scalar($crate::ops::batch::batch_access(
-                    &self.raw, self.batch_limit, $crate::ops::AccessOp::Load,
-                    vec![index], None, true,
+                    &self.raw,
+                    self.batch_limit,
+                    $crate::ops::AccessOp::Load,
+                    vec![index],
+                    None,
+                    true,
                 ))
             }
 
@@ -255,16 +286,24 @@ macro_rules! impl_element_ops {
             /// the paper's IndexGather kernel).
             pub fn batch_load(&self, indices: Vec<usize>) -> $crate::ops::BatchFetchHandle<T> {
                 $crate::ops::batch::batch_access(
-                    &self.raw, self.batch_limit, $crate::ops::AccessOp::Load,
-                    indices, None, true,
+                    &self.raw,
+                    self.batch_limit,
+                    $crate::ops::AccessOp::Load,
+                    indices,
+                    None,
+                    true,
                 )
             }
 
             /// Overwrite the element at global `index`.
             pub fn store(&self, index: usize, val: T) -> $crate::ops::ArrayOpHandle<T> {
                 $crate::ops::batch::discard($crate::ops::batch::batch_access(
-                    &self.raw, self.batch_limit, $crate::ops::AccessOp::Store,
-                    vec![index], Some(val.into()), false,
+                    &self.raw,
+                    self.batch_limit,
+                    $crate::ops::AccessOp::Store,
+                    vec![index],
+                    Some(val.into()),
+                    false,
                 ))
             }
 
@@ -275,16 +314,24 @@ macro_rules! impl_element_ops {
                 vals: impl Into<$crate::ops::BatchValues<T>>,
             ) -> $crate::ops::ArrayOpHandle<T> {
                 $crate::ops::batch::discard($crate::ops::batch::batch_access(
-                    &self.raw, self.batch_limit, $crate::ops::AccessOp::Store,
-                    indices, Some(vals.into()), false,
+                    &self.raw,
+                    self.batch_limit,
+                    $crate::ops::AccessOp::Store,
+                    indices,
+                    Some(vals.into()),
+                    false,
                 ))
             }
 
             /// Overwrite and return the previous value.
             pub fn swap(&self, index: usize, val: T) -> $crate::ops::FetchOpHandle<T> {
                 $crate::ops::batch::scalar($crate::ops::batch::batch_access(
-                    &self.raw, self.batch_limit, $crate::ops::AccessOp::Swap,
-                    vec![index], Some(val.into()), true,
+                    &self.raw,
+                    self.batch_limit,
+                    $crate::ops::AccessOp::Swap,
+                    vec![index],
+                    Some(val.into()),
+                    true,
                 ))
             }
 
@@ -295,8 +342,12 @@ macro_rules! impl_element_ops {
                 vals: impl Into<$crate::ops::BatchValues<T>>,
             ) -> $crate::ops::BatchFetchHandle<T> {
                 $crate::ops::batch::batch_access(
-                    &self.raw, self.batch_limit, $crate::ops::AccessOp::Swap,
-                    indices, Some(vals.into()), true,
+                    &self.raw,
+                    self.batch_limit,
+                    $crate::ops::AccessOp::Swap,
+                    indices,
+                    Some(vals.into()),
+                    true,
                 )
             }
 
@@ -309,7 +360,11 @@ macro_rules! impl_element_ops {
                 new: T,
             ) -> $crate::ops::CasHandle<T> {
                 $crate::ops::batch::scalar_cas($crate::ops::batch::batch_cas(
-                    &self.raw, self.batch_limit, vec![index], current.into(), new.into(),
+                    &self.raw,
+                    self.batch_limit,
+                    vec![index],
+                    current.into(),
+                    new.into(),
                 ))
             }
 
@@ -322,7 +377,11 @@ macro_rules! impl_element_ops {
                 new: impl Into<$crate::ops::BatchValues<T>>,
             ) -> $crate::ops::BatchCasHandle<T> {
                 $crate::ops::batch::batch_cas(
-                    &self.raw, self.batch_limit, indices, current.into(), new.into(),
+                    &self.raw,
+                    self.batch_limit,
+                    indices,
+                    current.into(),
+                    new.into(),
                 )
             }
 
@@ -369,10 +428,7 @@ macro_rules! impl_array_common {
             /// Global index of the first element owned by the calling PE in
             /// a Block layout (`None` if it owns none or layout is Cyclic).
             pub fn first_global_index_local(&self) -> Option<usize> {
-                self.raw
-                    .local_view_indices(self.raw.my_rank())
-                    .map(|(_, g)| g)
-                    .min()
+                self.raw.local_view_indices(self.raw.my_rank()).map(|(_, g)| g).min()
             }
 
             /// Set the sub-batch limit for batched operations (paper

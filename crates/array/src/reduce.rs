@@ -63,6 +63,9 @@ impl<T: ArrayElem> Codec for ReduceAm<T> {
         self.raw.encode(buf);
         self.op.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.raw.encoded_len() + self.op.encoded_len()
+    }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(ReduceAm { raw: RawArray::decode(r)?, op: ReduceOp::decode(r)? })
     }

@@ -257,10 +257,8 @@ impl<T: ArrayElem> UnsafeArray<T> {
     pub fn into_local_lock(self) -> LocalLockArray<T> {
         let (mut raw, team, limit) = self.into_unique(Access::LocalLock);
         if raw.local_lock.is_none() {
-            raw.local_lock = Some(lamellar_core::darc::Darc::new(
-                &team,
-                parking_lot::RwLock::new(()),
-            ));
+            raw.local_lock =
+                Some(lamellar_core::darc::Darc::new(&team, parking_lot::RwLock::new(())));
             team.barrier();
         }
         LocalLockArray::from_parts(raw, team, limit)

@@ -159,8 +159,11 @@ fn compare_exchange_single_and_batch() {
             assert_eq!(world.block_on(arr.compare_exchange(7, 0, 42)), Ok(0));
             assert_eq!(world.block_on(arr.compare_exchange(7, 0, 43)), Err(42));
             // Batch: darts at slots 1,7,9 expecting empty (0).
-            let res =
-                world.block_on(arr.batch_compare_exchange(vec![1, 7, 9], 0u64, vec![11u64, 12, 13]));
+            let res = world.block_on(arr.batch_compare_exchange(
+                vec![1, 7, 9],
+                0u64,
+                vec![11u64, 12, 13],
+            ));
             assert_eq!(res, vec![Ok(0), Err(42), Ok(0)]);
             assert_eq!(world.block_on(arr.batch_load(vec![1, 7, 9])), vec![11, 42, 13]);
         }

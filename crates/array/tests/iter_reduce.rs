@@ -54,12 +54,8 @@ fn dist_iter_enumerate_yields_global_indices() {
 fn dist_iter_map_filter_chain() {
     launch(2, |world| {
         let arr = filled_atomic(&world, 20);
-        let odds_doubled = world.block_on(
-            arr.dist_iter()
-                .filter(|v| v % 2 == 1)
-                .map(|v| v * 2)
-                .collect_local(),
-        );
+        let odds_doubled =
+            world.block_on(arr.dist_iter().filter(|v| v % 2 == 1).map(|v| v * 2).collect_local());
         for v in &odds_doubled {
             assert_eq!((v / 2) % 2, 1);
         }
@@ -73,9 +69,8 @@ fn dist_iter_skip_step_take_select_by_position() {
     launch(2, |world| {
         let arr = filled_atomic(&world, 20);
         // Positions 4, 8, 12, 16 (skip 4, every 4th, below 18).
-        let selected: usize = world.block_on(
-            arr.dist_iter().skip(4).step_by(4).take(18).count_local(),
-        );
+        let selected: usize =
+            world.block_on(arr.dist_iter().skip(4).step_by(4).take(18).count_local());
         world.barrier();
         // Summed across both PEs: indices {4,8,12,16} → 4 total.
         let total = world.team().deposit_all(selected).iter().sum::<usize>();
@@ -89,10 +84,7 @@ fn dist_iter_collect_array_concatenates_in_rank_order() {
     launch(3, |world| {
         let arr = filled_atomic(&world, 30);
         // Keep elements < 25 (drops the tail of rank 2's block).
-        let collected = arr
-            .dist_iter()
-            .filter(|v| *v < 25)
-            .collect_array(Distribution::Block);
+        let collected = arr.dist_iter().filter(|v| *v < 25).collect_array(Distribution::Block);
         assert_eq!(collected.len(), 25);
         let mut buf = vec![0u64; 25];
         // SAFETY: collect_array barriers before returning; read-only now.
@@ -108,8 +100,7 @@ fn local_iter_sees_only_local_data() {
         use lamellar_array::iter::LocalIterExt;
         let arr = filled_atomic(&world, 12);
         let local = world.block_on(arr.local_iter().collect());
-        let expect: Vec<u64> =
-            (0..6).map(|i| (world.my_pe() * 6 + i) as u64).collect();
+        let expect: Vec<u64> = (0..6).map(|i| (world.my_pe() * 6 + i) as u64).collect();
         assert_eq!(local, expect);
         // Enumerate yields *local* indices.
         let pairs = world.block_on(arr.local_iter().enumerate().collect());
@@ -128,7 +119,9 @@ fn local_iter_zip_pairs_two_arrays() {
         let b = AtomicArray::<u64>::new(&world, 10, Distribution::Block);
         world.barrier();
         if world.my_pe() == 0 {
-            world.block_on(b.batch_store((0..10).collect(), (0..10).map(|i| i * 100).collect::<Vec<u64>>()));
+            world.block_on(
+                b.batch_store((0..10).collect(), (0..10).map(|i| i * 100).collect::<Vec<u64>>()),
+            );
         }
         world.wait_all();
         world.barrier();
@@ -159,8 +152,7 @@ fn onesided_iter_walks_whole_array_in_global_order() {
             let all: Vec<u64> = arr.onesided_iter().chunks(4).into_iter().collect();
             assert_eq!(all, (0..25).collect::<Vec<u64>>());
             // Standard iterator adaptors compose after into_iter().
-            let evens: Vec<u64> =
-                arr.onesided_iter().into_iter().filter(|v| v % 2 == 0).collect();
+            let evens: Vec<u64> = arr.onesided_iter().into_iter().filter(|v| v % 2 == 0).collect();
             assert_eq!(evens.len(), 13);
         }
         world.barrier();

@@ -12,7 +12,7 @@ fn run_oracle(dist: Distribution, len: usize, ops: Vec<(usize, u64)>, use_local_
     let outcome = launch(2, move |world| {
         let idxs: Vec<usize> = ops2.iter().map(|&(i, _)| i % len).collect();
         let vals: Vec<u64> = ops2.iter().map(|&(_, v)| v % 1000).collect();
-        
+
         if use_local_lock {
             let arr = LocalLockArray::<u64>::new(&world, len, dist);
             world.barrier();

@@ -98,7 +98,8 @@ pub fn histo_lamellar_am(world: &LamellarWorld, cfg: &TableConfig) -> KernelResu
 pub fn histo_lamellar_atomic_array(world: &LamellarWorld, cfg: &TableConfig) -> KernelResult {
     let npes = world.num_pes();
     let glen = cfg.table_per_pe * npes;
-    let mut table = lamellar_array::AtomicArray::<usize>::new(world, glen, lamellar_array::Distribution::Block);
+    let mut table =
+        lamellar_array::AtomicArray::<usize>::new(world, glen, lamellar_array::Distribution::Block);
     table.set_batch_limit(cfg.batch);
     let rnd_i = random_indices(cfg, world.my_pe(), glen);
     world.barrier();

@@ -51,33 +51,25 @@ pub fn randperm_array_darts(world: &LamellarWorld, cfg: &PermConfig) -> KernelRe
     target.set_batch_limit(cfg.batch);
     let mut rng = SplitMix64::new(cfg.seed, me);
     // My darts: the global ids me*perm_per_pe .. (me+1)*perm_per_pe.
-    let mut darts: Vec<u64> = (0..cfg.perm_per_pe)
-        .map(|i| (me * cfg.perm_per_pe + i) as u64 + 1)
-        .collect();
+    let mut darts: Vec<u64> =
+        (0..cfg.perm_per_pe).map(|i| (me * cfg.perm_per_pe + i) as u64 + 1).collect();
     world.barrier();
 
     let timer = Instant::now();
     while !darts.is_empty() {
         let slots: Vec<usize> = darts.iter().map(|_| rng.below(tlen)).collect();
-        let results =
-            world.block_on(target.batch_compare_exchange(slots, 0u64, darts.clone()));
+        let results = world.block_on(target.batch_compare_exchange(slots, 0u64, darts.clone()));
         // "If the location is already occupied, the dart must be thrown
         // again until it sticks."
-        darts = darts
-            .into_iter()
-            .zip(results)
-            .filter_map(|(d, r)| r.is_err().then_some(d))
-            .collect();
+        darts =
+            darts.into_iter().zip(results).filter_map(|(d, r)| r.is_err().then_some(d)).collect();
     }
     world.wait_all();
     world.barrier();
     // "Once all darts have stuck, the target array iterates to collect
     // darts in the order they appear, forming a size-N random permutation."
-    let perm = target
-        .dist_iter()
-        .filter(|v| *v != 0)
-        .map(|v| v - 1)
-        .collect_array(Distribution::Block);
+    let perm =
+        target.dist_iter().filter(|v| *v != 0).map(|v| v - 1).collect_array(Distribution::Block);
     world.barrier();
     let elapsed = timer.elapsed();
 
@@ -107,9 +99,8 @@ impl Shard {
 
     /// Try to stick `dart` (already +1 encoded) at `slot`; true on success.
     fn try_stick(&self, slot: usize, dart: u64) -> bool {
-        let ok = self.slots[slot]
-            .compare_exchange(0, dart, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok();
+        let ok =
+            self.slots[slot].compare_exchange(0, dart, Ordering::AcqRel, Ordering::Acquire).is_ok();
         if ok {
             self.filled.fetch_add(1, Ordering::Relaxed);
         }
@@ -223,9 +214,8 @@ where
     let npes = world.num_pes();
     let me = world.my_pe();
     let tlen = cfg.target_per_pe * npes;
-    let mut darts: Vec<u64> = (0..cfg.perm_per_pe)
-        .map(|i| (me * cfg.perm_per_pe + i) as u64 + 1)
-        .collect();
+    let mut darts: Vec<u64> =
+        (0..cfg.perm_per_pe).map(|i| (me * cfg.perm_per_pe + i) as u64 + 1).collect();
     world.barrier();
 
     let timer = Instant::now();
@@ -320,7 +310,10 @@ pub fn randperm_am_push(world: &LamellarWorld, cfg: &PermConfig) -> KernelResult
         let dst = rng.below(npes);
         bins[dst].push(d);
         if bins[dst].len() >= cfg.batch {
-            drop(world.exec_am_pe(dst, PushAm { list: list.clone(), darts: std::mem::take(&mut bins[dst]) }));
+            drop(world.exec_am_pe(
+                dst,
+                PushAm { list: list.clone(), darts: std::mem::take(&mut bins[dst]) },
+            ));
         }
     }
     for (dst, darts) in bins.into_iter().enumerate() {

@@ -24,8 +24,7 @@ fn main() {
     // Small AM batches so the *wire-level* aggregation threshold (not the
     // application-level binning) is what varies.
     cfg.batch = arg_usize("--batch", 128);
-    let thresholds: Vec<usize> =
-        vec![16 << 10, 50 << 10, 100 << 10, 256 << 10, 512 << 10, 1 << 20];
+    let thresholds: Vec<usize> = vec![16 << 10, 50 << 10, 100 << 10, 256 << 10, 512 << 10, 1 << 20];
 
     println!("Ablation: aggregation threshold sweep, Histogram AM, {pes} PEs");
     let mut table = ResultTable::new(
@@ -36,19 +35,14 @@ fn main() {
     );
     for &thresh in &thresholds {
         let (mups, puts) = {
-            let wc = WorldConfig::new(pes)
-                .backend(Backend::Rofi)
-                .agg_threshold(thresh);
+            let wc = WorldConfig::new(pes).backend(Backend::Rofi).agg_threshold(thresh);
             let results = launch_with_config(wc, move |world| {
                 let r = histo_lamellar_am(&world, &cfg);
                 (r, world.stats().fabric.puts)
             });
             let worst = results.iter().map(|(r, _)| r.elapsed).max().unwrap();
             let puts = results[0].1; // fabric-global counter
-            (
-                results[0].0.global_ops as f64 / worst.as_secs_f64() / 1e6,
-                puts as f64,
-            )
+            (results[0].0.global_ops as f64 / worst.as_secs_f64() / 1e6, puts as f64)
         };
         table.push_row(lamellar_bench::fmt_size(thresh), vec![Some(mups), Some(puts)]);
     }

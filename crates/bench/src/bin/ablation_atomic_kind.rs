@@ -47,12 +47,7 @@ fn main() {
     let cfg = TableConfig::paper_scaled(scale);
 
     println!("Ablation: AtomicArray native atomics vs 1-byte-mutex elements, {pes} PEs");
-    let mut table = ResultTable::new(
-        "Atomic kind",
-        "variant",
-        "MUPS",
-        &["Histogram-AtomicArray"],
-    );
+    let mut table = ResultTable::new("Atomic kind", "variant", "MUPS", &["Histogram-AtomicArray"]);
     table.push_row("native", vec![Some(run(pes, cfg, false))]);
     table.push_row("generic", vec![Some(run(pes, cfg, true))]);
     print!("{}", table.render());

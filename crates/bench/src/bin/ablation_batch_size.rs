@@ -19,8 +19,7 @@ fn main() {
     let batches = [100usize, 1_000, 10_000, 50_000];
 
     println!("Ablation: batch_add sub-batch size, AtomicArray Histogram, {pes} PEs");
-    let mut table =
-        ResultTable::new("Sub-batch size", "batch", "MUPS", &["Histogram-AtomicArray"]);
+    let mut table = ResultTable::new("Sub-batch size", "batch", "MUPS", &["Histogram-AtomicArray"]);
     for &batch in &batches {
         let mut cfg = TableConfig::paper_scaled(scale);
         cfg.batch = batch;

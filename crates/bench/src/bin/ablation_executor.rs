@@ -62,12 +62,8 @@ fn main() {
     let depth = 13; // 16383-node spawn tree
 
     println!("Ablation: executor scheduling, {workers} workers");
-    let mut table = ResultTable::new(
-        "Executor",
-        "mode",
-        "tasks/s",
-        &["flat-burst", "recursive-tree"],
-    );
+    let mut table =
+        ResultTable::new("Executor", "mode", "tasks/s", &["flat-burst", "recursive-tree"]);
     for (label, single) in [("work-stealing", false), ("single-queue", true)] {
         let pool = Arc::new(ThreadPool::new(PoolConfig {
             workers,

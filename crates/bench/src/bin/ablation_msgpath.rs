@@ -1,0 +1,154 @@
+//! Ablation — zero-copy message path (DESIGN.md, "Message path & buffer
+//! lifecycle").
+//!
+//! Measures what pooled buffers + encode-in-place buy on the aggregated
+//! hot send path. Two variants push identical framed Request envelopes
+//! through a real `QueueTransport` pair:
+//!
+//! * **legacy-copy** — what the runtime did before the refactor: serialize
+//!   the payload into a fresh `Vec`, build an owned `Envelope`, frame it
+//!   into a second `Vec`, then copy that into the aggregation buffer.
+//! * **encode-in-place** — the current path: `send_with` +
+//!   `frame_request_with` encode straight into the pooled aggregation
+//!   buffer.
+//!
+//! A counting global allocator reports heap allocations per AM alongside
+//! wall time; in steady state the in-place path performs zero intermediate
+//! allocations per envelope (the pool recycles every buffer).
+//!
+//! Usage: `... --bin ablation_msgpath [--msgs 200000] [--payload 64]`
+
+use lamellar_bench::{arg_usize, ResultTable};
+use lamellar_core::lamellae::queue::{queue_footprint, QueueTransport};
+use lamellar_core::proto::{self, Envelope};
+use rofi_sim::fabric::{Fabric, FabricConfig};
+use rofi_sim::NetConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator with an allocation-event counter (alloc + realloc; a
+/// realloc is the `Vec` growth the zero-copy path is meant to eliminate).
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct Harness {
+    q0: QueueTransport,
+    q1: QueueTransport,
+}
+
+fn harness() -> Harness {
+    let buf_size = 64 << 10;
+    let mut eps = Fabric::launch(FabricConfig {
+        num_pes: 2,
+        sym_len: queue_footprint(2, buf_size) + 4096,
+        heap_len: 4096,
+        net: NetConfig::disabled(),
+        metrics: true,
+    });
+    let base = eps[0].fabric().alloc_symmetric(queue_footprint(2, buf_size), 64).unwrap();
+    let ep1 = eps.pop().unwrap();
+    let ep0 = eps.pop().unwrap();
+    Harness {
+        q0: QueueTransport::new(ep0, base, buf_size, 16 << 10),
+        q1: QueueTransport::new(ep1, base, buf_size, 16 << 10),
+    }
+}
+
+/// Run `send` for `msgs` messages, draining the receiver inline, and return
+/// (ns per AM, allocation events per AM). The first quarter is warmup: it
+/// fills the buffer pools so the measured region sees steady state.
+fn run(h: &Harness, msgs: usize, mut send: impl FnMut(&QueueTransport, u64)) -> (f64, f64) {
+    let warmup = msgs / 4;
+    let drain = |h: &Harness| {
+        h.q0.flush();
+        h.q1.progress(&mut |_, _| {});
+    };
+    for seq in 0..warmup {
+        send(&h.q0, seq as u64);
+        if seq % 32 == 31 {
+            drain(h);
+        }
+    }
+    while !h.q0.outgoing_empty() {
+        drain(h);
+    }
+    let t0 = Instant::now();
+    let a0 = ALLOC_EVENTS.load(Ordering::Relaxed);
+    for seq in 0..msgs {
+        send(&h.q0, seq as u64);
+        if seq % 32 == 31 {
+            drain(h);
+        }
+    }
+    while !h.q0.outgoing_empty() {
+        drain(h);
+    }
+    let allocs = ALLOC_EVENTS.load(Ordering::Relaxed) - a0;
+    let ns = t0.elapsed().as_nanos() as f64;
+    (ns / msgs as f64, allocs as f64 / msgs as f64)
+}
+
+fn main() {
+    let msgs = arg_usize("--msgs", 200_000);
+    let payload_len = arg_usize("--payload", 64);
+    let src: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+
+    println!("Ablation: message-path allocations, {msgs} AMs of {payload_len} B payload");
+    let mut table = ResultTable::new(
+        "Zero-copy message path",
+        "variant",
+        "ns / allocs per AM",
+        &["ns-per-am", "allocs-per-am"],
+    );
+
+    {
+        let h = harness();
+        let src = src.clone();
+        let (ns, allocs) = run(&h, msgs, move |q, seq| {
+            // Pre-refactor shape: payload Vec + owned Envelope + frame Vec,
+            // then a copy into the aggregation buffer.
+            let payload = src.clone();
+            let env = Envelope::Request(1, seq, 0, payload);
+            let mut buf = Vec::new();
+            proto::frame(&env, &mut buf);
+            q.send(1, &buf);
+        });
+        table.push_row("legacy-copy", vec![Some(ns), Some(allocs)]);
+    }
+
+    {
+        let h = harness();
+        let src = src.clone();
+        let (ns, allocs) = run(&h, msgs, move |q, seq| {
+            q.send_with(1, proto::framed_request_len(src.len()), &mut |buf| {
+                proto::frame_request_with(buf, 1, seq, 0, src.len(), |b| b.extend_from_slice(&src));
+            });
+        });
+        table.push_row("encode-in-place", vec![Some(ns), Some(allocs)]);
+        let hit_rate = h.q0.stats().pool_hit_rate().unwrap_or(0.0);
+        println!("sender pool hit rate: {:.1}%", hit_rate * 100.0);
+    }
+
+    print!("{}", table.render());
+    let _ = table.write_csv("ablation_msgpath");
+}

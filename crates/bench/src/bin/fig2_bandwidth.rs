@@ -153,8 +153,9 @@ fn main() {
     }
     let max_size = arg_usize("--max-mb", 4) << 20;
     let budget = arg_usize("--budget-mb", 8) << 20;
-    let sizes: Vec<usize> =
-        std::iter::successors(Some(1usize), |s| Some(s * 2)).take_while(|&s| s <= max_size).collect();
+    let sizes: Vec<usize> = std::iter::successors(Some(1usize), |s| Some(s * 2))
+        .take_while(|&s| s <= max_size)
+        .collect();
 
     let series = [
         "Rofi(libfabric)",
@@ -166,7 +167,10 @@ fn main() {
         "AM",
     ];
     println!("Fig. 2 reproduction: put-like bandwidth, 2 PEs, cost model on");
-    println!("paper parameters: 262143 transfers <=4KB, 1GB/size above; here: budget {} per size", fmt_size(budget));
+    println!(
+        "paper parameters: 262143 transfers <=4KB, 1GB/size above; here: budget {} per size",
+        fmt_size(budget)
+    );
 
     // Series 1 measured at the raw ROFI layer on its own fabric.
     let rofi_bw = rofi_series(&sizes, budget);

@@ -32,9 +32,7 @@ fn run_shmem(
     reps: usize,
     f: fn(&ShmemCtx, &TableConfig) -> KernelResult,
 ) -> f64 {
-    (0..reps)
-        .map(|_| best(shmem_launch(pes, 64, move |ctx| f(&ctx, &cfg))))
-        .fold(0.0, f64::max)
+    (0..reps).map(|_| best(shmem_launch(pes, 64, move |ctx| f(&ctx, &cfg)))).fold(0.0, f64::max)
 }
 
 fn run_lamellar(
@@ -45,11 +43,8 @@ fn run_lamellar(
 ) -> f64 {
     (0..reps)
         .map(|_| {
-            let wc = WorldConfig::new(pes).backend(if pes == 1 {
-                Backend::Smp
-            } else {
-                Backend::Rofi
-            });
+            let wc =
+                WorldConfig::new(pes).backend(if pes == 1 { Backend::Smp } else { Backend::Rofi });
             best(launch_with_config(wc, move |world| f(&world, &cfg)))
         })
         .fold(0.0, f64::max)

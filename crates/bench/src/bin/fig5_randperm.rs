@@ -41,11 +41,8 @@ fn run_lamellar(
 ) -> f64 {
     (0..reps)
         .map(|_| {
-            let wc = WorldConfig::new(pes).backend(if pes == 1 {
-                Backend::Smp
-            } else {
-                Backend::Rofi
-            });
+            let wc =
+                WorldConfig::new(pes).backend(if pes == 1 { Backend::Smp } else { Backend::Rofi });
             secs(launch_with_config(wc, move |world| f(&world, &cfg)))
         })
         .fold(f64::INFINITY, f64::min)
@@ -61,15 +58,8 @@ fn main() {
         cfg.perm_per_pe, cfg.target_per_pe
     );
 
-    let series = [
-        "Exstack",
-        "Exstack2",
-        "Conveyors",
-        "Array-Darts",
-        "AM-Darts",
-        "AM-Darts-Opt",
-        "AM-Push",
-    ];
+    let series =
+        ["Exstack", "Exstack2", "Conveyors", "Array-Darts", "AM-Darts", "AM-Darts-Opt", "AM-Push"];
     let mut table = ResultTable::new("Fig. 5: Randperm time", "PEs", "seconds", &series);
     for &pes in &pes_list {
         let row = vec![

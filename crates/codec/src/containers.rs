@@ -17,6 +17,9 @@ impl Codec for String {
         let bytes = r.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::InvalidUtf8)
     }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(self.len() as u64) + self.len()
+    }
 }
 
 impl<T: Codec> Codec for Vec<T> {
@@ -36,6 +39,9 @@ impl<T: Codec> Codec for Vec<T> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(self.len() as u64) + self.iter().map(Codec::encoded_len).sum::<usize>()
+    }
 }
 
 impl<T: Codec> Codec for Option<T> {
@@ -54,6 +60,9 @@ impl<T: Codec> Codec for Option<T> {
             1 => Ok(Some(T::decode(r)?)),
             v => Err(CodecError::InvalidDiscriminant { type_name: "Option", value: v as u64 }),
         }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Codec::encoded_len)
     }
 }
 
@@ -77,6 +86,12 @@ impl<T: Codec, E: Codec> Codec for std::result::Result<T, E> {
             v => Err(CodecError::InvalidDiscriminant { type_name: "Result", value: v as u64 }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Ok(v) => v.encoded_len(),
+            Err(e) => e.encoded_len(),
+        }
+    }
 }
 
 impl<T: Codec> Codec for Box<T> {
@@ -85,6 +100,9 @@ impl<T: Codec> Codec for Box<T> {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         Ok(Box::new(T::decode(r)?))
+    }
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
     }
 }
 
@@ -100,8 +118,10 @@ impl<T: Codec, const N: usize> Codec for [T; N] {
         for _ in 0..N {
             v.push(T::decode(r)?);
         }
-        v.try_into()
-            .map_err(|_| CodecError::UnexpectedEof { needed: N, available: 0 })
+        v.try_into().map_err(|_| CodecError::UnexpectedEof { needed: N, available: 0 })
+    }
+    fn encoded_len(&self) -> usize {
+        self.iter().map(Codec::encoded_len).sum()
     }
 }
 
@@ -123,6 +143,10 @@ impl<K: Codec + Eq + Hash, V: Codec> Codec for HashMap<K, V> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(self.len() as u64)
+            + self.iter().map(|(k, v)| k.encoded_len() + v.encoded_len()).sum::<usize>()
+    }
 }
 
 impl<K: Codec + Ord, V: Codec> Codec for BTreeMap<K, V> {
@@ -143,6 +167,10 @@ impl<K: Codec + Ord, V: Codec> Codec for BTreeMap<K, V> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(self.len() as u64)
+            + self.iter().map(|(k, v)| k.encoded_len() + v.encoded_len()).sum::<usize>()
+    }
 }
 
 macro_rules! impl_codec_tuple {
@@ -153,6 +181,9 @@ macro_rules! impl_codec_tuple {
             }
             fn decode(r: &mut Reader<'_>) -> Result<Self> {
                 Ok(($($name::decode(r)?,)+))
+            }
+            fn encoded_len(&self) -> usize {
+                0 $(+ self.$idx.encoded_len())+
             }
         }
     };
@@ -232,6 +263,35 @@ mod tests {
         bt.insert(3u64, vec![1u8]);
         bt.insert(1u64, vec![]);
         rt(bt);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        fn check<T: Codec>(v: T) {
+            assert_eq!(v.encoded_len(), v.to_bytes().len());
+        }
+        check(String::new());
+        check("ünïcødé λ".to_string());
+        check(vec![1u8, 2, 3]);
+        check(vec!["a".to_string(), "bb".to_string()]);
+        check(Option::<u32>::None);
+        check(Some(99u32));
+        check(std::result::Result::<u8, String>::Err("bad".into()));
+        check(Box::new(42u64));
+        check([1u16, 2, 3, 4]);
+        check((1u8, "x".to_string(), vec![2.5f64]));
+        let mut hm = HashMap::new();
+        hm.insert("k".to_string(), 1u32);
+        check(hm);
+        let mut bt = BTreeMap::new();
+        bt.insert(3u64, vec![1u8]);
+        check(bt);
+        check(std::time::Duration::new(5, 7));
+        check(());
+        check(true);
+        check('λ');
+        check(usize::MAX);
+        check(-3isize);
     }
 
     #[test]

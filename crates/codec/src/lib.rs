@@ -22,12 +22,12 @@
 //! require `syn`/`quote`, which are outside this reproduction's dependency
 //! policy — see DESIGN.md §5).
 
-pub mod error;
-pub mod reader;
-pub mod varint;
-pub mod primitives;
 pub mod containers;
+pub mod error;
+pub mod primitives;
+pub mod reader;
 pub mod typeid;
+pub mod varint;
 #[macro_use]
 pub mod macros;
 
@@ -47,6 +47,20 @@ pub trait Codec: Sized {
     /// Decode a value from the front of `r`, consuming exactly the bytes
     /// that [`Codec::encode`] wrote.
     fn decode(r: &mut Reader<'_>) -> Result<Self>;
+
+    /// Exact number of bytes [`Codec::encode`] will append for `self`.
+    ///
+    /// The message path uses this to reserve frame prefixes and pick the
+    /// small-vs-staged send route *before* serializing, so implementations
+    /// must agree with `encode` byte-for-byte and must be side-effect free
+    /// (notably: no Darc/region pinning). The default encodes into a scratch
+    /// buffer and measures — correct but allocating; every in-repo impl
+    /// overrides it with an arithmetic computation.
+    fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
 
     /// Serialize into a fresh buffer.
     fn to_bytes(&self) -> Vec<u8> {

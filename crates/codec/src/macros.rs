@@ -33,6 +33,9 @@ macro_rules! impl_codec {
                     $( $field: $crate::Codec::decode(r)?, )*
                 })
             }
+            fn encoded_len(&self) -> usize {
+                0 $( + $crate::Codec::encoded_len(&self.$field) )*
+            }
         }
     };
     // Generic named-field struct: impl_codec!(Pair<T> { a, b });
@@ -46,6 +49,9 @@ macro_rules! impl_codec {
                     $( $field: $crate::Codec::decode(r)?, )*
                 })
             }
+            fn encoded_len(&self) -> usize {
+                0 $( + $crate::Codec::encoded_len(&self.$field) )*
+            }
         }
     };
     // Tuple struct: impl_codec!(Wrapper(0, 1));
@@ -58,6 +64,9 @@ macro_rules! impl_codec {
                 Ok($name (
                     $( { let _ = $idx; $crate::Codec::decode(r)? }, )*
                 ))
+            }
+            fn encoded_len(&self) -> usize {
+                0 $( + $crate::Codec::encoded_len(&self.$idx) )*
             }
         }
     };
@@ -110,6 +119,21 @@ macro_rules! impl_codec_enum {
                     type_name: stringify!($name),
                     value: disc,
                 })
+            }
+            fn encoded_len(&self) -> usize {
+                #[allow(unused_mut, unused_variables, unused_assignments)]
+                {
+                    let mut disc: u64 = 0;
+                    $(
+                        #[allow(unreachable_patterns)]
+                        if let $name::$variant $( ( $(ref $field),* ) )? = self {
+                            return $crate::varint::len_u64(disc)
+                                $( $( + $crate::Codec::encoded_len($field) )* )?;
+                        }
+                        disc += 1;
+                    )*
+                }
+                unreachable!("enum value matched no variant")
             }
         }
     };
@@ -169,6 +193,19 @@ mod tests {
         for v in [Cmd::Nop, Cmd::Add(7), Cmd::Exchange(1, 2)] {
             let bytes = v.to_bytes();
             assert_eq!(Cmd::from_bytes(&bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn macro_encoded_len_is_exact() {
+        let s = Plain { a: 9, b: "abc".into(), c: vec![-5, 0, 5] };
+        assert_eq!(s.encoded_len(), s.to_bytes().len());
+        let p = Pair { left: vec![1u8], right: vec![2u8, 3] };
+        assert_eq!(p.encoded_len(), p.to_bytes().len());
+        let w = Wrap(3, 1 << 40);
+        assert_eq!(w.encoded_len(), w.to_bytes().len());
+        for v in [Cmd::Nop, Cmd::Add(7), Cmd::Exchange(1, 2)] {
+            assert_eq!(v.encoded_len(), v.to_bytes().len());
         }
     }
 

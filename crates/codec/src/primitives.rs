@@ -19,6 +19,9 @@ macro_rules! impl_codec_int {
                 fn decode(r: &mut Reader<'_>) -> Result<Self> {
                     Ok(<$t>::from_le_bytes(r.take_array()?))
                 }
+                fn encoded_len(&self) -> usize {
+                    std::mem::size_of::<$t>()
+                }
             }
         )*
     };
@@ -35,6 +38,9 @@ impl Codec for usize {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         Ok(u64::decode(r)? as usize)
     }
+    fn encoded_len(&self) -> usize {
+        8
+    }
 }
 
 impl Codec for isize {
@@ -43,6 +49,9 @@ impl Codec for isize {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         Ok(i64::decode(r)? as isize)
+    }
+    fn encoded_len(&self) -> usize {
+        8
     }
 }
 
@@ -57,6 +66,9 @@ impl Codec for bool {
             v => Err(CodecError::InvalidDiscriminant { type_name: "bool", value: v as u64 }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl Codec for char {
@@ -67,12 +79,18 @@ impl Codec for char {
         let v = u32::decode(r)?;
         char::from_u32(v).ok_or(CodecError::InvalidChar(v))
     }
+    fn encoded_len(&self) -> usize {
+        4
+    }
 }
 
 impl Codec for () {
     fn encode(&self, _buf: &mut Vec<u8>) {}
     fn decode(_r: &mut Reader<'_>) -> Result<Self> {
         Ok(())
+    }
+    fn encoded_len(&self) -> usize {
+        0
     }
 }
 
@@ -85,6 +103,9 @@ impl Codec for std::time::Duration {
         let secs = u64::decode(r)?;
         let nanos = u32::decode(r)?;
         Ok(std::time::Duration::new(secs, nanos))
+    }
+    fn encoded_len(&self) -> usize {
+        12
     }
 }
 

@@ -43,6 +43,17 @@ pub fn read_u64(r: &mut Reader<'_>) -> Result<u64> {
     Err(CodecError::VarintOverflow)
 }
 
+/// Encoded width of `v` in bytes, without encoding (1 ..= [`MAX_VARINT_LEN`]).
+pub fn len_u64(v: u64) -> usize {
+    // ceil(bits / 7), with 0 occupying one byte.
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Encoded width of a ZigZag + LEB128 signed integer.
+pub fn len_i64(v: i64) -> usize {
+    len_u64(zigzag(v))
+}
+
 /// ZigZag-encode a signed value so small magnitudes stay small.
 pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
@@ -97,6 +108,37 @@ mod tests {
     fn u64_roundtrips_boundaries() {
         for v in [0, 1, 127, 128, 255, 256, 16383, 16384, u32::MAX as u64, u64::MAX] {
             roundtrip_u(v);
+        }
+    }
+
+    #[test]
+    fn len_u64_matches_encoded_width() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            255,
+            256,
+            16383,
+            16384,
+            (1 << 21) - 1,
+            1 << 21,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(len_u64(v), buf.len(), "width mismatch for {v}");
+        }
+    }
+
+    #[test]
+    fn len_i64_matches_encoded_width() {
+        for v in [0i64, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(len_i64(v), buf.len(), "width mismatch for {v}");
         }
     }
 

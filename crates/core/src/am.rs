@@ -43,10 +43,11 @@ pub trait LamellarAm: Codec + Send + Sync + 'static {
 
 /// Type-erased executor stored in the registry: decode payload, run, encode
 /// output.
-pub type ErasedExec = fn(
-    &[u8],
-    AmContext,
-) -> Result<Pin<Box<dyn Future<Output = Vec<u8>> + Send + 'static>>, CodecError>;
+pub type ErasedExec =
+    fn(
+        &[u8],
+        AmContext,
+    ) -> Result<Pin<Box<dyn Future<Output = Vec<u8>> + Send + 'static>>, CodecError>;
 
 /// One registry entry.
 #[derive(Clone, Copy)]

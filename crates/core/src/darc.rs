@@ -165,10 +165,19 @@ impl<T: Send + Sync + 'static> Codec for Darc<T> {
         // and deserialization is used to track the transfer of Darcs to
         // remote PEs in AMs").
         if let Some(shared) = self.state.shared.upgrade() {
-            shared
-                .pin_trackable(self.state.id, Arc::clone(&self.state) as Arc<dyn Any + Send + Sync>);
+            shared.pin_trackable(
+                self.state.id,
+                Arc::clone(&self.state) as Arc<dyn Any + Send + Sync>,
+            );
         }
         self.state.id.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        // Must NOT fall back to the encode-and-measure default: `encode`
+        // pins a strong reference as a side effect, and sizing a message
+        // must not pin twice. The wire form is the fixed-width id alone.
+        8
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {

@@ -46,8 +46,13 @@ impl FabricLamellae {
         agg_threshold: usize,
         metrics: bool,
     ) -> Self {
-        let queues =
-            QueueTransport::with_metrics(ep.clone(), queue_base, buffer_size, agg_threshold, metrics);
+        let queues = QueueTransport::with_metrics(
+            ep.clone(),
+            queue_base,
+            buffer_size,
+            agg_threshold,
+            metrics,
+        );
         FabricLamellae { ep, queues, backend }
     }
 
@@ -74,20 +79,19 @@ impl Lamellae for FabricLamellae {
         self.queues.send(dst, framed);
     }
 
+    fn send_with(&self, dst: usize, len: usize, fill: &mut dyn FnMut(&mut Vec<u8>)) {
+        self.queues.send_with(dst, len, fill);
+    }
+
     fn flush(&self) {
         self.queues.flush();
     }
 
-    fn progress(&self, sink: &mut dyn FnMut(usize, Vec<u8>)) -> bool {
+    fn progress(&self, sink: &mut dyn FnMut(usize, &[u8])) -> bool {
         self.ep.fabric().progress_delay(); // failure-injection hook
-        let mut any = false;
-        self.queues.progress(&mut |src, raw| {
-            for env in crate::proto::deframe(&raw) {
-                sink(src, lamellar_codec::Codec::to_bytes(&env));
-            }
-            any = true;
-        });
-        any
+                                           // Chunks pass through untouched: the runtime deframes and parses
+                                           // envelopes in place out of the pooled receive buffer.
+        self.queues.progress(sink)
     }
 
     fn barrier_with(&self, progress: &mut dyn FnMut()) {
@@ -138,6 +142,10 @@ impl Lamellae for FabricLamellae {
 
     fn inject_progress_delay(&self, ns: u64) {
         self.ep.fabric().set_progress_delay_ns(ns);
+    }
+
+    fn heap_in_use(&self) -> usize {
+        self.ep.fabric().heap_in_use(self.ep.pe()).unwrap_or(0)
     }
 
     fn fabric_stats(&self) -> FabricStats {

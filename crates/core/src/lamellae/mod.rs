@@ -50,14 +50,27 @@ pub trait Lamellae: Send + Sync + 'static {
     /// messages headed there until the aggregation threshold is reached.
     fn send(&self, dst: usize, framed: &[u8]);
 
+    /// Zero-copy send: `fill` encodes exactly `len` framed bytes straight
+    /// into the destination's aggregation buffer, skipping the intermediate
+    /// `Vec` that [`Lamellae::send`] would copy from. The default falls back
+    /// to assemble-then-send for backends without in-place aggregation.
+    fn send_with(&self, dst: usize, len: usize, fill: &mut dyn FnMut(&mut Vec<u8>)) {
+        let mut buf = Vec::with_capacity(len);
+        fill(&mut buf);
+        self.send(dst, &buf);
+    }
+
     /// Push every partially-filled aggregation buffer to the wire.
     fn flush(&self);
 
-    /// Drain incoming messages, handing each `(src, envelope bytes)` to
-    /// `sink`. Returns true if any message was delivered. Reentrant calls
+    /// Drain incoming messages, handing each `(src, envelope bytes)` chunk
+    /// to `sink` as a borrowed slice of a transport-owned (typically pooled)
+    /// receive buffer — valid only for the duration of the call; the
+    /// runtime parses envelopes in place and copies only what must outlive
+    /// the tick. Returns true if any message was delivered. Reentrant calls
     /// are no-ops (one ticker at a time), so the progress thread, barrier
     /// waiters, and `block_on` helpers can all pump without coordination.
-    fn progress(&self, sink: &mut dyn FnMut(usize, Vec<u8>)) -> bool;
+    fn progress(&self, sink: &mut dyn FnMut(usize, &[u8])) -> bool;
 
     /// Collective barrier over the world, servicing `progress` while
     /// waiting (a blocked PE must keep executing AMs sent to it).
@@ -109,6 +122,13 @@ pub trait Lamellae: Send + Sync + 'static {
     /// Failure injection (tests): stall every progress tick by `ns`
     /// nanoseconds. Default no-op for backends without the hook.
     fn inject_progress_delay(&self, _ns: u64) {}
+
+    /// Bytes currently allocated in this PE's one-sided heap — zero once
+    /// every LargeRequest/FreeHeap staging handshake has completed.
+    /// Backends without heap accounting return 0.
+    fn heap_in_use(&self) -> usize {
+        0
+    }
 
     /// Typed snapshot of the fabric-layer counters (puts/gets, bytes,
     /// inject vs. rendezvous split, barrier rounds). Fabric counters are

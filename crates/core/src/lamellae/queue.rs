@@ -49,7 +49,7 @@ use lamellar_metrics::{LamellaeMetrics, LamellaeStats};
 use parking_lot::Mutex;
 use rofi_sim::FabricPe;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Buffers per destination (double buffering, per the paper).
@@ -62,16 +62,70 @@ pub fn queue_footprint(num_pes: usize, buffer_size: usize) -> usize {
     2 * num_pes * NBUF * 8 + num_pes * NBUF * buffer_size + 64
 }
 
-/// Outgoing state for one destination: whole frames waiting to be packed,
-/// plus at most one assembled chunk waiting for a free wire buffer.
+/// A free-list of reusable byte buffers shared by the aggregation and
+/// receive paths, so steady-state messaging performs no heap allocation:
+/// every aggregation chunk and receive staging buffer is acquired here and
+/// released back once its bytes hit the wire (or the sink returns).
+///
+/// The pool never shrinks; its size is bounded by the high-water mark of
+/// simultaneously outstanding buffers (per destination: one open aggregation
+/// buffer plus any parked sealed chunks; plus one receive buffer per
+/// progress ticker), which [`LamellaeMetrics::record_pool_outstanding`]
+/// tracks.
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    outstanding: AtomicU64,
+    metrics: Arc<LamellaeMetrics>,
+}
+
+impl BufferPool {
+    pub fn new(metrics: Arc<LamellaeMetrics>) -> Self {
+        BufferPool { free: Mutex::new(Vec::new()), outstanding: AtomicU64::new(0), metrics }
+    }
+
+    /// Check out an empty buffer with at least `capacity` bytes reserved.
+    pub fn acquire(&self, capacity: usize) -> Vec<u8> {
+        let recycled = self.free.lock().pop();
+        let out = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.record_pool_outstanding(out);
+        match recycled {
+            Some(mut buf) => {
+                self.metrics.record_pool_acquire(true);
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => {
+                self.metrics.record_pool_acquire(false);
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Return a buffer for reuse (contents are discarded on next acquire).
+    pub fn release(&self, buf: Vec<u8>) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        self.free.lock().push(buf);
+    }
+
+    /// Buffers currently checked out (0 when the system is quiescent).
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+}
+
+/// Outgoing state for one destination: the open aggregation buffer that
+/// frames encode directly into, plus sealed chunks waiting for a free wire
+/// buffer. All buffers are pool-backed.
 #[derive(Default)]
 struct OutQueue {
-    /// Framed messages in FIFO order.
-    frames: VecDeque<Vec<u8>>,
-    /// Total bytes across `frames`.
-    bytes: usize,
-    /// An assembled chunk that found no free wire buffer yet.
-    ready: Option<Vec<u8>>,
+    /// The chunk currently being filled (frames encode in place here).
+    agg: Option<Vec<u8>>,
+    /// Sealed chunks in FIFO order, each awaiting a wire buffer.
+    sealed: VecDeque<Vec<u8>>,
+    /// The front sealed chunk already failed a wire attempt (park/retry
+    /// accounting).
+    parked: bool,
 }
 
 /// One PE's endpoint of the world-wide queue fabric.
@@ -86,6 +140,8 @@ pub struct QueueTransport {
     agg_threshold: usize,
     /// Per-destination aggregation queues.
     out: Vec<Mutex<OutQueue>>,
+    /// Recycled aggregation/receive buffers.
+    pool: BufferPool,
     /// Serializes progress ticks (one ticker at a time).
     progress_lock: Mutex<()>,
     /// Transport observability. `msgs_sent` counts individual framed
@@ -116,6 +172,7 @@ impl QueueTransport {
         assert!(agg_threshold <= buffer_size, "threshold must fit in a buffer");
         let num_pes = ep.num_pes();
         let out = (0..num_pes).map(|_| Mutex::new(OutQueue::default())).collect();
+        let metrics = Arc::new(LamellaeMetrics::new(metrics));
         QueueTransport {
             ep,
             base,
@@ -123,9 +180,15 @@ impl QueueTransport {
             buffer_size,
             agg_threshold,
             out,
+            pool: BufferPool::new(Arc::clone(&metrics)),
             progress_lock: Mutex::new(()),
-            metrics: Arc::new(LamellaeMetrics::new(metrics)),
+            metrics,
         }
+    }
+
+    /// The transport's buffer pool (receive staging and aggregation chunks).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// The live transport metrics registry.
@@ -158,17 +221,39 @@ impl QueueTransport {
     /// Enqueue one framed message for `dst`; wire chunks are emitted once
     /// the aggregation threshold accumulates (never blocks).
     pub fn send(&self, dst: usize, framed: &[u8]) {
+        self.send_with(dst, framed.len(), &mut |buf| buf.extend_from_slice(framed));
+    }
+
+    /// Zero-copy send: reserves `len` bytes of the destination's open
+    /// aggregation buffer and lets `fill` encode the framed message straight
+    /// into it — the only copy is the encode itself. `fill` must append
+    /// exactly `len` bytes. Never blocks.
+    pub fn send_with(&self, dst: usize, len: usize, fill: &mut dyn FnMut(&mut Vec<u8>)) {
         assert!(
-            framed.len() <= self.buffer_size,
-            "message of {} bytes exceeds wire buffer of {} (large payloads take the heap path)",
-            framed.len(),
+            len <= self.buffer_size,
+            "message of {len} bytes exceeds wire buffer of {} (large payloads take the heap path)",
             self.buffer_size
         );
-        self.metrics.record_send(framed.len() as u64);
+        self.metrics.record_send(len as u64);
         let mut q = self.out[dst].lock();
-        q.frames.push_back(framed.to_vec());
-        q.bytes += framed.len();
-        self.pump(dst, &mut q, false);
+        // Seal the open buffer first if this frame would overflow it —
+        // frames never straddle chunk boundaries.
+        if q.agg.as_ref().is_some_and(|agg| agg.len() + len > self.buffer_size) {
+            let full = q.agg.take().expect("just checked");
+            q.sealed.push_back(full);
+        }
+        if q.agg.is_none() {
+            q.agg = Some(self.pool.acquire(self.buffer_size));
+        }
+        let agg = q.agg.as_mut().expect("just ensured");
+        let before = agg.len();
+        fill(agg);
+        debug_assert_eq!(agg.len() - before, len, "send_with: fill appended a different length");
+        if agg.len() >= self.agg_threshold {
+            let full = q.agg.take().expect("agg is some");
+            q.sealed.push_back(full);
+        }
+        self.pump(dst, &mut q);
     }
 
     /// Push every waiting byte toward the wire (best effort — chunks that
@@ -176,7 +261,11 @@ impl QueueTransport {
     pub fn flush(&self) {
         for dst in 0..self.num_pes {
             let mut q = self.out[dst].lock();
-            self.pump(dst, &mut q, true);
+            if let Some(agg) = q.agg.take() {
+                debug_assert!(!agg.is_empty(), "open buffers always hold at least one frame");
+                q.sealed.push_back(agg);
+            }
+            self.pump(dst, &mut q);
         }
     }
 
@@ -185,50 +274,29 @@ impl QueueTransport {
     pub fn outgoing_empty(&self) -> bool {
         self.out.iter().all(|q| {
             let q = q.lock();
-            q.frames.is_empty() && q.ready.is_none()
+            q.agg.is_none() && q.sealed.is_empty()
         })
     }
 
-    /// Assemble-and-emit loop for one destination. With `want_all`, emits
-    /// partial chunks too (flush semantics); otherwise only once the
-    /// threshold accumulates.
-    fn pump(&self, dst: usize, q: &mut OutQueue, want_all: bool) {
-        // A chunk already in `ready` at entry failed to launch in an earlier
-        // pump — this pass is a retry of it; chunks assembled below are on
-        // their first attempt.
-        let mut is_retry = q.ready.is_some();
-        loop {
-            // Retry the parked chunk first (FIFO order).
-            if let Some(chunk) = q.ready.take() {
-                if is_retry {
-                    self.metrics.record_retry();
-                }
-                if !self.try_push_to_wire(dst, &chunk) {
-                    if !is_retry {
-                        self.metrics.record_park();
-                    }
-                    q.ready = Some(chunk);
-                    return;
-                }
-                self.metrics.record_flush();
+    /// Emit sealed chunks for one destination in FIFO order, recycling each
+    /// buffer once its bytes are on the wire. Chunks that find no free wire
+    /// buffer stay parked for the next call.
+    fn pump(&self, dst: usize, q: &mut OutQueue) {
+        while let Some(chunk) = q.sealed.front() {
+            if q.parked {
+                self.metrics.record_retry();
             }
-            is_retry = false;
-            let target = if want_all { 1 } else { self.agg_threshold };
-            if q.bytes < target {
+            if !self.try_push_to_wire(dst, chunk) {
+                if !q.parked {
+                    self.metrics.record_park();
+                    q.parked = true;
+                }
                 return;
             }
-            // Assemble the next chunk out of whole frames.
-            let mut chunk = Vec::with_capacity(q.bytes.min(self.buffer_size));
-            while let Some(front) = q.frames.front() {
-                if chunk.len() + front.len() > self.buffer_size {
-                    break;
-                }
-                let f = q.frames.pop_front().expect("front exists");
-                q.bytes -= f.len();
-                chunk.extend_from_slice(&f);
-            }
-            debug_assert!(!chunk.is_empty(), "a single frame always fits");
-            q.ready = Some(chunk);
+            q.parked = false;
+            self.metrics.record_flush();
+            let done = q.sealed.pop_front().expect("front exists");
+            self.pool.release(done);
         }
     }
 
@@ -243,17 +311,13 @@ impl QueueTransport {
         debug_assert!(!bytes.is_empty());
         let me = self.ep.pe();
         for idx in 0..NBUF {
-            let busy = self
-                .ep
-                .atomic_u64(me, self.send_busy_off(dst, idx))
-                .expect("send_busy in bounds");
+            let busy =
+                self.ep.atomic_u64(me, self.send_busy_off(dst, idx)).expect("send_busy in bounds");
             if busy.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed).is_ok() {
                 // SAFETY: we own this buffer (busy flag) until the
                 // receiver clears it; offsets are within the queue block.
                 unsafe {
-                    self.ep
-                        .put(me, self.send_buf_off(dst, idx), bytes)
-                        .expect("send buffer write");
+                    self.ep.put(me, self.send_buf_off(dst, idx), bytes).expect("send buffer write");
                 }
                 // Model the tiny signalling RDMA write.
                 if dst != me {
@@ -269,17 +333,20 @@ impl QueueTransport {
         false
     }
 
-    /// Drain incoming wire buffers; `sink` receives `(src, raw buffer)`
-    /// (the caller deframes). Returns true if anything arrived. One ticker
-    /// runs at a time; concurrent callers return false immediately. Also
-    /// retries parked outgoing chunks, so traffic keeps moving as long as
-    /// anyone pumps progress.
-    pub fn progress(&self, sink: &mut dyn FnMut(usize, Vec<u8>)) -> bool {
+    /// Drain incoming wire buffers; `sink` receives `(src, raw chunk)` as a
+    /// borrowed slice of a pool-backed staging buffer (the caller deframes;
+    /// bytes are only valid for the duration of the call). Returns true if
+    /// anything arrived. One ticker runs at a time; concurrent callers
+    /// return false immediately. Also retries parked outgoing chunks, so
+    /// traffic keeps moving as long as anyone pumps progress.
+    pub fn progress(&self, sink: &mut dyn FnMut(usize, &[u8])) -> bool {
         let Some(_guard) = self.progress_lock.try_lock() else {
             return false;
         };
         let me = self.ep.pe();
         let mut any = false;
+        // One pooled staging buffer serves every wire chunk this tick.
+        let mut data = self.pool.acquire(self.buffer_size);
         for src in 0..self.num_pes {
             for idx in 0..NBUF {
                 let sig =
@@ -288,7 +355,7 @@ impl QueueTransport {
                 if len == 0 {
                     continue;
                 }
-                let mut data = vec![0u8; len];
+                data.resize(len, 0);
                 // SAFETY: the sender wrote the buffer before the release
                 // store of the flag and will not touch it until we clear
                 // send_busy below.
@@ -303,16 +370,18 @@ impl QueueTransport {
                     .atomic_u64(src, self.send_busy_off(me, idx))
                     .expect("busy in bounds")
                     .store(0, Ordering::Release);
-                self.metrics.record_recv(data.len() as u64);
-                sink(src, data);
+                self.metrics.record_recv(len as u64);
+                sink(src, &data[..len]);
+                data.clear();
                 any = true;
             }
         }
+        self.pool.release(data);
         // Freed buffers on our peers may unblock parked chunks of ours.
         for dst in 0..self.num_pes {
             if let Some(mut q) = self.out[dst].try_lock() {
-                if q.ready.is_some() {
-                    self.pump(dst, &mut q, false);
+                if !q.sealed.is_empty() {
+                    self.pump(dst, &mut q);
                 }
             }
         }
@@ -337,9 +406,7 @@ mod tests {
             metrics: true,
         });
         let base = pes[0].fabric().alloc_symmetric(foot, 8).unwrap();
-        pes.into_iter()
-            .map(|ep| Arc::new(QueueTransport::new(ep, base, buf, thresh)))
-            .collect()
+        pes.into_iter().map(|ep| Arc::new(QueueTransport::new(ep, base, buf, thresh))).collect()
     }
 
     #[test]
@@ -348,10 +415,10 @@ mod tests {
         // 40 bytes: below the 100-byte threshold — nothing on the wire yet.
         qs[0].send(1, &[1u8; 40]);
         let mut got = Vec::new();
-        assert!(!qs[1].progress(&mut |src, data| got.push((src, data))));
+        assert!(!qs[1].progress(&mut |src, data| got.push((src, data.to_vec()))));
         // Crossing the threshold emits one aggregated chunk.
         qs[0].send(1, &[2u8; 70]);
-        assert!(qs[1].progress(&mut |src, data| got.push((src, data))));
+        assert!(qs[1].progress(&mut |src, data| got.push((src, data.to_vec()))));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, 0);
         assert_eq!(got[0].1.len(), 110);
@@ -365,7 +432,7 @@ mod tests {
         qs[0].send(1, &[7u8; 10]);
         qs[0].flush();
         let mut got = Vec::new();
-        assert!(qs[1].progress(&mut |_, data| got.push(data)));
+        assert!(qs[1].progress(&mut |_, data| got.push(data.to_vec())));
         assert_eq!(got, vec![vec![7u8; 10]]);
         assert!(qs[0].outgoing_empty());
     }
@@ -381,7 +448,7 @@ mod tests {
         assert!(!qs[0].outgoing_empty(), "third chunk parks while wire is full");
         let mut got = Vec::new();
         while got.len() < 3 {
-            qs[1].progress(&mut |_, data| got.push(data));
+            qs[1].progress(&mut |_, data| got.push(data.to_vec()));
             qs[0].flush(); // retries the parked chunk
         }
         let mut firsts: Vec<u8> = got.iter().map(|d| d[0]).collect();
@@ -397,11 +464,11 @@ mod tests {
             qs[0].send(1, &[i; 8]);
             qs[1].send(0, &[i + 100; 8]);
             let mut got1 = Vec::new();
-            while !qs[1].progress(&mut |_, d| got1.push(d)) {
+            while !qs[1].progress(&mut |_, d| got1.push(d.to_vec())) {
                 qs[0].flush();
             }
             let mut got0 = Vec::new();
-            while !qs[0].progress(&mut |_, d| got0.push(d)) {
+            while !qs[0].progress(&mut |_, d| got0.push(d.to_vec())) {
                 qs[1].flush();
             }
             assert_eq!(got1[0][0], i);
@@ -447,7 +514,7 @@ mod tests {
         qs[0].flush();
         let mut got = Vec::new();
         while got.len() < 2 {
-            qs[1].progress(&mut |_, d| got.push(d));
+            qs[1].progress(&mut |_, d| got.push(d.to_vec()));
             qs[0].flush();
         }
         assert_eq!(got[0], vec![1u8; 150]);
@@ -459,6 +526,31 @@ mod tests {
     fn oversized_single_message_rejected() {
         let qs = make_world(2, 128, 64);
         qs[0].send(1, &[0u8; 256]);
+    }
+
+    /// Buffers cycle through the pool: after warm-up the transport performs
+    /// no fresh allocations (high hit rate) and quiescence returns every
+    /// buffer to the free list.
+    #[test]
+    fn buffer_pool_recycles_to_quiescence() {
+        let qs = make_world(2, 4096, 1);
+        for round in 0..50u8 {
+            qs[0].send(1, &[round; 32]);
+            let mut got = 0;
+            while got == 0 {
+                qs[1].progress(&mut |_, d| got += d.len() / 32);
+                qs[0].flush();
+            }
+        }
+        assert_eq!(qs[0].pool().outstanding(), 0, "sender buffers all returned");
+        assert_eq!(qs[1].pool().outstanding(), 0, "receiver buffers all returned");
+        let s = qs[0].stats();
+        let total = s.pool_hits + s.pool_misses;
+        assert!(total >= 50, "every send cycles a pool buffer (got {total})");
+        // Steady state: one aggregation buffer recycled per round — only the
+        // first acquire may miss.
+        assert!(s.pool_misses <= 2, "pool misses stayed at warm-up level: {s:?}");
+        assert!(s.pool_hwm >= 1);
     }
 
     /// The deadlock regression: both PEs saturate the wire toward each
@@ -478,10 +570,16 @@ mod tests {
                     q.progress(&mut |_, d| received += d.len() / 64);
                     q.flush();
                 }
+                let mut backoff = lamellar_executor::Backoff::new();
                 while received < 200 || !q.outgoing_empty() {
+                    let before = received;
                     q.progress(&mut |_, d| received += d.len() / 64);
                     q.flush();
-                    std::thread::yield_now();
+                    if received > before {
+                        backoff.reset();
+                    } else {
+                        backoff.snooze();
+                    }
                 }
                 received
             })

@@ -24,13 +24,16 @@ use std::collections::VecDeque;
 pub struct SmpLamellae {
     ep: FabricPe,
     mailbox: Mutex<VecDeque<Vec<u8>>>,
+    /// Drained mailbox buffers waiting for reuse (the SMP analogue of the
+    /// queue transport's `BufferPool`).
+    spare: Mutex<Vec<Vec<u8>>>,
 }
 
 impl SmpLamellae {
     /// Wrap a 1-PE fabric endpoint.
     pub fn new(ep: FabricPe) -> Self {
         assert_eq!(ep.num_pes(), 1, "the SMP lamellae supports exactly one PE");
-        SmpLamellae { ep, mailbox: Mutex::new(VecDeque::new()) }
+        SmpLamellae { ep, mailbox: Mutex::new(VecDeque::new()), spare: Mutex::new(Vec::new()) }
     }
 }
 
@@ -48,21 +51,28 @@ impl Lamellae for SmpLamellae {
     }
 
     fn send(&self, dst: usize, framed: &[u8]) {
+        self.send_with(dst, framed.len(), &mut |buf| buf.extend_from_slice(framed));
+    }
+
+    fn send_with(&self, dst: usize, len: usize, fill: &mut dyn FnMut(&mut Vec<u8>)) {
         assert_eq!(dst, 0, "SMP world has a single PE");
         // Loopback: deframe happens in progress, matching the other
-        // backends' observable behavior.
-        self.mailbox.lock().push_back(framed.to_vec());
+        // backends' observable behavior. Buffers cycle through `spare`.
+        let mut buf = self.spare.lock().pop().unwrap_or_default();
+        buf.clear();
+        buf.reserve(len);
+        fill(&mut buf);
+        self.mailbox.lock().push_back(buf);
     }
 
     fn flush(&self) {}
 
-    fn progress(&self, sink: &mut dyn FnMut(usize, Vec<u8>)) -> bool {
+    fn progress(&self, sink: &mut dyn FnMut(usize, &[u8])) -> bool {
         let mut any = false;
         loop {
             let Some(raw) = self.mailbox.lock().pop_front() else { break };
-            for env in crate::proto::deframe(&raw) {
-                sink(0, lamellar_codec::Codec::to_bytes(&env));
-            }
+            sink(0, &raw);
+            self.spare.lock().push(raw);
             any = true;
         }
         any
@@ -113,6 +123,10 @@ impl Lamellae for SmpLamellae {
     fn oob_remove(&self, tag: u64) {
         self.ep.fabric().oob_remove(tag);
     }
+
+    fn heap_in_use(&self) -> usize {
+        self.ep.fabric().heap_in_use(0).unwrap_or(0)
+    }
 }
 
 impl std::fmt::Debug for SmpLamellae {
@@ -126,7 +140,6 @@ mod tests {
     use super::*;
     use crate::lamellae::Lamellae;
     use crate::proto::{frame, Envelope};
-    use lamellar_codec::Codec;
     use rofi_sim::fabric::{Fabric, FabricConfig};
     use rofi_sim::NetConfig;
 
@@ -150,13 +163,26 @@ mod tests {
         frame(&Envelope::FreeHeap(9), &mut buf);
         lam.send(0, &buf);
         let mut got = Vec::new();
-        assert!(lam.progress(&mut |src, bytes| {
+        assert!(lam.progress(&mut |src, chunk| {
             assert_eq!(src, 0);
-            got.push(Envelope::from_bytes(&bytes).unwrap());
+            got.extend(crate::proto::deframe(chunk));
         }));
         assert_eq!(got, vec![env, Envelope::FreeHeap(9)]);
         // Drained: nothing more.
         assert!(!lam.progress(&mut |_, _| panic!("no more messages")));
+    }
+
+    #[test]
+    fn loopback_recycles_mailbox_buffers() {
+        let lam = smp();
+        let mut buf = Vec::new();
+        frame(&Envelope::FreeHeap(1), &mut buf);
+        for _ in 0..10 {
+            lam.send(0, &buf);
+            assert!(lam.progress(&mut |_, _| {}));
+        }
+        // One buffer cycles send → mailbox → spare the whole time.
+        assert_eq!(lam.spare.lock().len(), 1);
     }
 
     #[test]

@@ -241,6 +241,12 @@ impl<T: Dist> Codec for SharedMemoryRegion<T> {
         self.len.encode(buf);
     }
 
+    fn encoded_len(&self) -> usize {
+        // Pure arithmetic: `encode` pins the region (side effect), so the
+        // encode-and-measure default must not run for sizing. u64 id + len.
+        8 + 8
+    }
+
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let id = u64::decode(r)?;
         let len = usize::decode(r)?;
@@ -423,6 +429,11 @@ impl<T: Dist> Codec for OneSidedMemoryRegion<T> {
         }
         self.state.id.encode(buf);
         self.len.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        // Pure arithmetic — see `SharedMemoryRegion::encoded_len`.
+        8 + 8
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {

@@ -5,8 +5,23 @@
 //! (paper Sec. III-A: "Lamellar employs a double buffering message queue to
 //! ... allow for more efficient use of network resources by transferring
 //! larger messages").
+//!
+//! Two representations exist for the same wire bytes:
+//!
+//! * [`Envelope`] — owned; used when a message must outlive the buffer it
+//!   arrived in (large-request staging, tests).
+//! * [`EnvelopeView`] — borrowed; payload bytes stay inside the receive
+//!   buffer until the AM registry's typed decode. The hot receive path is
+//!   view-only, so an aggregated buffer of N envelopes is parsed with zero
+//!   payload copies.
+//!
+//! The hot *send* path never materializes an `Envelope` either: the
+//! [`frame_request_with`]/[`frame_reply`] helpers write the frame prefix and
+//! envelope header straight into the destination aggregation buffer and let
+//! the caller encode the payload in place. [`Codec::encoded_len`] supplies
+//! the exact sizes up front so the varint prefixes can be written first.
 
-use lamellar_codec::{impl_codec_enum, varint, Codec, Reader};
+use lamellar_codec::{impl_codec_enum, varint, Codec, CodecError, Reader};
 
 /// One runtime-level message.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,25 +58,179 @@ impl_codec_enum!(Envelope {
     ReplyErr(req_id, msg),
 });
 
-/// Append `envelope` to `buf` with a varint length prefix.
+// Wire discriminants as assigned by `impl_codec_enum!` (declaration order).
+// `EnvelopeView` and the in-place framing helpers must stay in lockstep with
+// the owned encode; the golden-bytes test pins all five.
+const DISC_REQUEST: u64 = 0;
+const DISC_REPLY: u64 = 1;
+const DISC_LARGE_REQUEST: u64 = 2;
+const DISC_FREE_HEAP: u64 = 3;
+const DISC_REPLY_ERR: u64 = 4;
+
+/// A borrowed decode of one envelope: payload bytes reference the receive
+/// buffer instead of being copied out. Byte-compatible with [`Envelope`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EnvelopeView<'a> {
+    Request { am_id: u64, req_id: u64, src_pe: u64, payload: &'a [u8] },
+    Reply { req_id: u64, payload: &'a [u8] },
+    LargeRequest { am_id: u64, req_id: u64, src_pe: u64, heap_offset: u64, len: u64 },
+    FreeHeap { offset: u64 },
+    ReplyErr { req_id: u64, msg: &'a str },
+}
+
+impl<'a> EnvelopeView<'a> {
+    /// Parse one envelope body (the bytes between frame prefixes) without
+    /// copying the payload. Requires the body to be fully consumed, exactly
+    /// like `Envelope::from_bytes`.
+    pub fn parse(body: &'a [u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(body);
+        let view = Self::decode_view(&mut r)?;
+        r.finish()?;
+        Ok(view)
+    }
+
+    fn decode_view(r: &mut Reader<'a>) -> Result<Self, CodecError> {
+        let disc = varint::read_u64(r)?;
+        match disc {
+            DISC_REQUEST => {
+                let am_id = u64::decode(r)?;
+                let req_id = u64::decode(r)?;
+                let src_pe = u64::decode(r)?;
+                let payload = take_bytes(r)?;
+                Ok(EnvelopeView::Request { am_id, req_id, src_pe, payload })
+            }
+            DISC_REPLY => {
+                let req_id = u64::decode(r)?;
+                let payload = take_bytes(r)?;
+                Ok(EnvelopeView::Reply { req_id, payload })
+            }
+            DISC_LARGE_REQUEST => {
+                let am_id = u64::decode(r)?;
+                let req_id = u64::decode(r)?;
+                let src_pe = u64::decode(r)?;
+                let heap_offset = u64::decode(r)?;
+                let len = u64::decode(r)?;
+                Ok(EnvelopeView::LargeRequest { am_id, req_id, src_pe, heap_offset, len })
+            }
+            DISC_FREE_HEAP => Ok(EnvelopeView::FreeHeap { offset: u64::decode(r)? }),
+            DISC_REPLY_ERR => {
+                let req_id = u64::decode(r)?;
+                let bytes = take_bytes(r)?;
+                let msg = std::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)?;
+                Ok(EnvelopeView::ReplyErr { req_id, msg })
+            }
+            value => Err(CodecError::InvalidDiscriminant { type_name: "Envelope", value }),
+        }
+    }
+
+    /// Copy into an owned [`Envelope`] (large-request staging, tests).
+    pub fn to_owned(&self) -> Envelope {
+        match *self {
+            EnvelopeView::Request { am_id, req_id, src_pe, payload } => {
+                Envelope::Request(am_id, req_id, src_pe, payload.to_vec())
+            }
+            EnvelopeView::Reply { req_id, payload } => Envelope::Reply(req_id, payload.to_vec()),
+            EnvelopeView::LargeRequest { am_id, req_id, src_pe, heap_offset, len } => {
+                Envelope::LargeRequest(am_id, req_id, src_pe, heap_offset, len)
+            }
+            EnvelopeView::FreeHeap { offset } => Envelope::FreeHeap(offset),
+            EnvelopeView::ReplyErr { req_id, msg } => Envelope::ReplyErr(req_id, msg.to_string()),
+        }
+    }
+}
+
+/// Borrow a length-prefixed byte run (the wire shape of `Vec<u8>`/`String`)
+/// directly out of the reader.
+fn take_bytes<'a>(r: &mut Reader<'a>) -> Result<&'a [u8], CodecError> {
+    let len = varint::read_len(r, varint::DEFAULT_MAX_LEN)?;
+    r.take(len)
+}
+
+/// Append `envelope` to `buf` with a varint length prefix — a single encode
+/// pass straight into the destination buffer (no intermediate `Vec`).
 pub fn frame(envelope: &Envelope, buf: &mut Vec<u8>) {
-    let body = envelope.to_bytes();
-    varint::write_len(buf, body.len());
-    buf.extend_from_slice(&body);
+    let body_len = envelope.encoded_len();
+    buf.reserve(varint::len_u64(body_len as u64) + body_len);
+    varint::write_len(buf, body_len);
+    envelope.encode(buf);
 }
 
 /// Serialized size of a framed envelope (used against the aggregation
-/// threshold before paying for the real encode).
+/// threshold before paying for the real encode). Pure arithmetic via
+/// [`Codec::encoded_len`]; nothing is encoded.
 pub fn framed_len(envelope: &Envelope) -> usize {
-    // Encode is cheap relative to transfer; measure exactly.
-    let body = envelope.to_bytes();
-    let mut prefix = Vec::with_capacity(varint::MAX_VARINT_LEN);
-    varint::write_len(&mut prefix, body.len());
-    prefix.len() + body.len()
+    let body_len = envelope.encoded_len();
+    varint::len_u64(body_len as u64) + body_len
 }
 
-/// Iterate the envelopes packed into one wire buffer.
-pub fn deframe(mut bytes: &[u8]) -> impl Iterator<Item = Envelope> + '_ {
+fn request_body_len(payload_len: usize) -> usize {
+    varint::len_u64(DISC_REQUEST) + 24 + varint::len_u64(payload_len as u64) + payload_len
+}
+
+/// Framed size of an [`Envelope::Request`] carrying `payload_len` encoded
+/// payload bytes — lets the sender pick small-vs-staged routing and check
+/// aggregation thresholds before serializing the AM at all.
+pub fn framed_request_len(payload_len: usize) -> usize {
+    let body = request_body_len(payload_len);
+    varint::len_u64(body as u64) + body
+}
+
+/// Frame an [`Envelope::Request`] directly into `buf`: prefix and header are
+/// written first, then `fill` encodes exactly `payload_len` payload bytes in
+/// place. Byte-identical to `frame(&Envelope::Request(..))` without ever
+/// materializing the payload separately.
+pub fn frame_request_with(
+    buf: &mut Vec<u8>,
+    am_id: u64,
+    req_id: u64,
+    src_pe: u64,
+    payload_len: usize,
+    fill: impl FnOnce(&mut Vec<u8>),
+) {
+    let body_len = request_body_len(payload_len);
+    buf.reserve(varint::len_u64(body_len as u64) + body_len);
+    varint::write_len(buf, body_len);
+    varint::write_u64(buf, DISC_REQUEST);
+    am_id.encode(buf);
+    req_id.encode(buf);
+    src_pe.encode(buf);
+    varint::write_len(buf, payload_len);
+    let start = buf.len();
+    fill(buf);
+    debug_assert_eq!(
+        buf.len() - start,
+        payload_len,
+        "frame_request_with: fill wrote a different length than encoded_len promised"
+    );
+}
+
+fn reply_body_len(payload_len: usize) -> usize {
+    varint::len_u64(DISC_REPLY) + 8 + varint::len_u64(payload_len as u64) + payload_len
+}
+
+/// Framed size of an [`Envelope::Reply`] carrying `payload_len` bytes.
+pub fn framed_reply_len(payload_len: usize) -> usize {
+    let body = reply_body_len(payload_len);
+    varint::len_u64(body as u64) + body
+}
+
+/// Frame an [`Envelope::Reply`] directly into `buf`: one copy of the encoded
+/// output, straight into the aggregation buffer.
+pub fn frame_reply(buf: &mut Vec<u8>, req_id: u64, payload: &[u8]) {
+    let body_len = reply_body_len(payload.len());
+    buf.reserve(varint::len_u64(body_len as u64) + body_len);
+    varint::write_len(buf, body_len);
+    varint::write_u64(buf, DISC_REPLY);
+    req_id.encode(buf);
+    varint::write_len(buf, payload.len());
+    buf.extend_from_slice(payload);
+}
+
+/// Iterate the envelope *bodies* packed into one wire buffer without
+/// decoding them — the receive path hands these slices to
+/// [`EnvelopeView::parse`] one at a time. Panics on a corrupt frame header
+/// (in-process wire corruption is a runtime bug, not recoverable input).
+pub fn deframe_raw(mut bytes: &[u8]) -> impl Iterator<Item = &[u8]> + '_ {
     std::iter::from_fn(move || {
         if bytes.is_empty() {
             return None;
@@ -71,7 +240,56 @@ pub fn deframe(mut bytes: &[u8]) -> impl Iterator<Item = Envelope> + '_ {
         let start = r.position();
         let body = &bytes[start..start + len];
         bytes = &bytes[start + len..];
-        Some(Envelope::from_bytes(body).expect("corrupt envelope"))
+        Some(body)
+    })
+}
+
+/// Iterate borrowed envelope views packed into one wire buffer.
+pub fn deframe_views(bytes: &[u8]) -> impl Iterator<Item = EnvelopeView<'_>> + '_ {
+    deframe_raw(bytes).map(|body| EnvelopeView::parse(body).expect("corrupt envelope"))
+}
+
+/// Iterate owned envelopes packed into one wire buffer (tests and staging
+/// paths that must outlive the buffer).
+pub fn deframe(bytes: &[u8]) -> impl Iterator<Item = Envelope> + '_ {
+    deframe_raw(bytes).map(|body| Envelope::from_bytes(body).expect("corrupt envelope"))
+}
+
+/// Fallible deframe for robustness testing and defensive consumers: yields
+/// `Err` (and then stops) instead of panicking on truncated or corrupt
+/// input.
+pub fn try_deframe_views(
+    mut bytes: &[u8],
+) -> impl Iterator<Item = Result<EnvelopeView<'_>, CodecError>> + '_ {
+    let mut dead = false;
+    std::iter::from_fn(move || {
+        if dead || bytes.is_empty() {
+            return None;
+        }
+        let step = (|| {
+            let mut r = Reader::new(bytes);
+            let len = varint::read_len(&mut r, varint::DEFAULT_MAX_LEN)?;
+            let start = r.position();
+            if bytes.len() - start < len {
+                return Err(CodecError::UnexpectedEof {
+                    needed: len,
+                    available: bytes.len() - start,
+                });
+            }
+            let body = &bytes[start..start + len];
+            let view = EnvelopeView::parse(body)?;
+            Ok((view, start + len))
+        })();
+        match step {
+            Ok((view, consumed)) => {
+                bytes = &bytes[consumed..];
+                Some(Ok(view))
+            }
+            Err(e) => {
+                dead = true;
+                Some(Err(e))
+            }
+        }
     })
 }
 
@@ -79,16 +297,19 @@ pub fn deframe(mut bytes: &[u8]) -> impl Iterator<Item = Envelope> + '_ {
 mod tests {
     use super::*;
 
-    #[test]
-    fn envelope_roundtrip() {
-        let envs = vec![
+    fn samples() -> Vec<Envelope> {
+        vec![
             Envelope::Request(1, 2, 3, vec![9, 9, 9]),
             Envelope::Reply(2, vec![]),
             Envelope::LargeRequest(4, 5, 6, 7, 8),
             Envelope::FreeHeap(1024),
             Envelope::ReplyErr(9, "remote AM panicked".to_string()),
-        ];
-        for e in &envs {
+        ]
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        for e in &samples() {
             assert_eq!(Envelope::from_bytes(&e.to_bytes()).unwrap(), *e);
         }
     }
@@ -106,18 +327,111 @@ mod tests {
         }
         let out: Vec<_> = deframe(&buf).collect();
         assert_eq!(out, envs);
+        let views: Vec<_> = deframe_views(&buf).map(|v| v.to_owned()).collect();
+        assert_eq!(views, envs);
     }
 
     #[test]
     fn framed_len_is_exact() {
-        let e = Envelope::Request(7, 8, 9, vec![0; 321]);
+        for e in &samples() {
+            let mut buf = Vec::new();
+            frame(e, &mut buf);
+            assert_eq!(buf.len(), framed_len(e), "framed_len mismatch for {e:?}");
+        }
+    }
+
+    #[test]
+    fn view_parse_matches_owned_decode() {
+        for e in &samples() {
+            let bytes = e.to_bytes();
+            let view = EnvelopeView::parse(&bytes).unwrap();
+            assert_eq!(view.to_owned(), *e);
+        }
+    }
+
+    #[test]
+    fn in_place_request_framing_is_byte_identical() {
+        let payload = vec![7u8, 8, 9, 10];
+        let mut owned = Vec::new();
+        frame(&Envelope::Request(11, 22, 33, payload.clone()), &mut owned);
+        let mut inplace = Vec::new();
+        frame_request_with(&mut inplace, 11, 22, 33, payload.len(), |buf| {
+            buf.extend_from_slice(&payload)
+        });
+        assert_eq!(owned, inplace);
+        assert_eq!(owned.len(), framed_request_len(payload.len()));
+    }
+
+    #[test]
+    fn in_place_reply_framing_is_byte_identical() {
+        for payload in [vec![], vec![5u8; 300]] {
+            let mut owned = Vec::new();
+            frame(&Envelope::Reply(42, payload.clone()), &mut owned);
+            let mut inplace = Vec::new();
+            frame_reply(&mut inplace, 42, &payload);
+            assert_eq!(owned, inplace);
+            assert_eq!(owned.len(), framed_reply_len(payload.len()));
+        }
+    }
+
+    /// Pins the wire format: these bytes must never change (they are what a
+    /// pre-refactor peer would produce and expect).
+    #[test]
+    fn golden_framed_bytes() {
+        let cases: Vec<(Envelope, Vec<u8>)> = vec![
+            (
+                Envelope::Request(1, 2, 3, vec![9, 9, 9]),
+                vec![
+                    29, // frame len
+                    0,  // disc Request
+                    1, 0, 0, 0, 0, 0, 0, 0, // am_id
+                    2, 0, 0, 0, 0, 0, 0, 0, // req_id
+                    3, 0, 0, 0, 0, 0, 0, 0, // src_pe
+                    3, 9, 9, 9, // payload
+                ],
+            ),
+            (Envelope::Reply(2, vec![0xAB]), vec![11, 1, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0xAB]),
+            (
+                Envelope::LargeRequest(4, 5, 6, 7, 8),
+                vec![
+                    41, // frame len
+                    2,  // disc LargeRequest
+                    4, 0, 0, 0, 0, 0, 0, 0, // am_id
+                    5, 0, 0, 0, 0, 0, 0, 0, // req_id
+                    6, 0, 0, 0, 0, 0, 0, 0, // src_pe
+                    7, 0, 0, 0, 0, 0, 0, 0, // heap_offset
+                    8, 0, 0, 0, 0, 0, 0, 0, // len
+                ],
+            ),
+            (Envelope::FreeHeap(1024), vec![9, 3, 0, 4, 0, 0, 0, 0, 0, 0]),
+            (
+                Envelope::ReplyErr(9, "hi".to_string()),
+                vec![12, 4, 9, 0, 0, 0, 0, 0, 0, 0, 2, b'h', b'i'],
+            ),
+        ];
+        for (env, golden) in &cases {
+            let mut buf = Vec::new();
+            frame(env, &mut buf);
+            assert_eq!(&buf, golden, "wire bytes drifted for {env:?}");
+        }
+    }
+
+    #[test]
+    fn try_deframe_reports_truncation() {
         let mut buf = Vec::new();
-        frame(&e, &mut buf);
-        assert_eq!(buf.len(), framed_len(&e));
+        frame(&Envelope::FreeHeap(7), &mut buf);
+        frame(&Envelope::Reply(1, vec![1, 2, 3]), &mut buf);
+        // Cut into the middle of the second frame's body.
+        let cut = &buf[..buf.len() - 2];
+        let items: Vec<_> = try_deframe_views(cut).collect();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].is_ok());
+        assert!(items[1].is_err());
     }
 
     #[test]
     fn empty_buffer_deframes_to_nothing() {
         assert_eq!(deframe(&[]).count(), 0);
+        assert_eq!(try_deframe_views(&[]).count(), 0);
     }
 }

@@ -19,10 +19,10 @@
 
 use crate::am::{am_id, lookup_am, register_am, AmHandle, LamellarAm, MultiAmHandle};
 use crate::lamellae::Lamellae;
-use crate::proto::{frame, Envelope};
+use crate::proto::{self, frame, Envelope, EnvelopeView};
 use crate::world::WorldShared;
 use lamellar_codec::Codec;
-use lamellar_executor::{oneshot, JoinHandle, ThreadPool};
+use lamellar_executor::{oneshot, Backoff, JoinHandle, ThreadPool};
 use lamellar_metrics::{AmMetrics, RuntimeStats};
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -33,8 +33,10 @@ use std::sync::Arc;
 
 /// Completion callback for one pending request: decodes the reply payload
 /// (or carries the destination's panic message) and resolves the typed
-/// handle.
-type PendingReply = Box<dyn FnOnce(Result<Vec<u8>, String>) + Send>;
+/// handle. The payload is a slice borrowed from the transport's receive
+/// buffer — the callback deserializes in place, the only copy on the reply
+/// path being the typed decode itself.
+type PendingReply = Box<dyn for<'a> FnOnce(Result<&'a [u8], String>) + Send>;
 
 /// Adapter that converts a panicking future into `Err(panic message)`, so
 /// a crashed AM produces an error reply instead of stranding its caller.
@@ -206,44 +208,58 @@ impl RuntimeInner {
                 Box::new(move |result| {
                     let out = result.map(|bytes| {
                         with_rt_context(&rt, || {
-                            T::Output::from_bytes(&bytes).expect("AM reply decode")
+                            T::Output::from_bytes(bytes).expect("AM reply decode")
                         })
                     });
                     tx.send(out);
                     rt.my_pending.fetch_sub(1, Ordering::AcqRel);
                 }),
             );
-            let payload = with_rt_context(self, || am.to_bytes());
-            let env = if payload.len() > self.large_threshold {
+            // `encoded_len` is side-effect free (no Darc/region pinning), so
+            // it is safe to size the wire frame before encoding.
+            let payload_len = with_rt_context(self, || am.encoded_len());
+            self.am_metrics.record_sent();
+            if payload_len > self.large_threshold {
                 // Stage the payload in the one-sided heap; the receiver
                 // RDMA-gets it and sends FreeHeap back.
+                let payload = with_rt_context(self, || am.to_bytes());
+                debug_assert_eq!(payload.len(), payload_len, "encoded_len disagrees with encode");
                 let off = self.lamellae.alloc_heap(payload.len(), 8);
                 // SAFETY: freshly allocated, private until the receiver is
                 // told about it, freed only on FreeHeap.
                 unsafe { self.lamellae.put(self.pe, off, &payload) };
-                Envelope::LargeRequest(
+                let env = Envelope::LargeRequest(
                     am_id::<T>(),
                     req_id,
                     self.pe as u64,
                     off as u64,
                     payload.len() as u64,
-                )
+                );
+                self.lamellae.send_with(dst, proto::framed_len(&env), &mut |buf| frame(&env, buf));
             } else {
-                Envelope::Request(am_id::<T>(), req_id, self.pe as u64, payload)
-            };
-            let mut buf = Vec::new();
-            frame(&env, &mut buf);
-            self.am_metrics.record_sent();
-            self.lamellae.send(dst, &buf);
+                // Zero-copy send: the AM encodes straight into the
+                // aggregation buffer, no intermediate payload or frame Vec.
+                let mut am = Some(am);
+                self.lamellae.send_with(dst, proto::framed_request_len(payload_len), &mut |buf| {
+                    let am = am.take().expect("send_with fill called once");
+                    proto::frame_request_with(
+                        buf,
+                        am_id::<T>(),
+                        req_id,
+                        self.pe as u64,
+                        payload_len,
+                        |b| with_rt_context(self, || am.encode(b)),
+                    );
+                });
+            }
         }
         AmHandle { rx }
     }
 
     /// Launch `am` on every PE in the world (including this one).
     pub fn exec_am_all<T: LamellarAm + Clone>(self: &Arc<Self>, am: T) -> MultiAmHandle<T::Output> {
-        let handles = (0..self.num_pes)
-            .map(|dst| Some(self.exec_am_pe(dst, am.clone())))
-            .collect::<Vec<_>>();
+        let handles =
+            (0..self.num_pes).map(|dst| Some(self.exec_am_pe(dst, am.clone()))).collect::<Vec<_>>();
         let results = (0..self.num_pes).map(|_| None).collect();
         MultiAmHandle { handles, results }
     }
@@ -272,13 +288,16 @@ impl RuntimeInner {
 
     /// Block until every AM and task launched by this PE has completed.
     pub fn wait_all(self: &Arc<Self>) {
+        let mut backoff = Backoff::new();
         loop {
             self.lamellae.flush();
             if self.my_pending.load(Ordering::Acquire) == 0 {
                 return;
             }
-            if !self.tick() {
-                std::thread::yield_now();
+            if self.tick() {
+                backoff.reset();
+            } else {
+                backoff.snooze();
             }
         }
     }
@@ -293,34 +312,40 @@ impl RuntimeInner {
         });
     }
 
-    /// One progress tick: drain incoming envelopes. Returns true if any
-    /// message was handled.
+    /// One progress tick: drain incoming chunks, parsing each envelope in
+    /// place out of the transport's pooled receive buffer. Returns true if
+    /// any message was handled.
     pub(crate) fn tick(self: &Arc<Self>) -> bool {
         let rt = Arc::clone(self);
-        self.lamellae.progress(&mut |src, env_bytes| {
-            let env = Envelope::from_bytes(&env_bytes).expect("envelope decode");
-            rt.handle(src, env);
+        self.lamellae.progress(&mut |src, chunk| {
+            for body in proto::deframe_raw(chunk) {
+                let view = EnvelopeView::parse(body).expect("envelope decode");
+                rt.handle(src, view);
+            }
         })
     }
 
-    /// Dispatch one incoming envelope.
-    fn handle(self: &Arc<Self>, _wire_src: usize, env: Envelope) {
+    /// Dispatch one incoming envelope. The view borrows from the receive
+    /// buffer; data that must outlive this call (the AM future's state, the
+    /// typed reply value) is produced by the typed decode, not by copying
+    /// the raw bytes first.
+    fn handle(self: &Arc<Self>, _wire_src: usize, env: EnvelopeView<'_>) {
         match env {
-            Envelope::Request(am_id, req_id, src_pe, payload) => {
+            EnvelopeView::Request { am_id, req_id, src_pe, payload } => {
                 self.dispatch_request(am_id, req_id, src_pe as usize, payload);
             }
-            Envelope::LargeRequest(am_id, req_id, src_pe, off, len) => {
+            EnvelopeView::LargeRequest { am_id, req_id, src_pe, heap_offset, len } => {
                 let src_pe = src_pe as usize;
                 let mut payload = vec![0u8; len as usize];
                 // SAFETY: the sender staged [off, off+len) for us and will
                 // not touch it until our FreeHeap arrives.
-                unsafe { self.lamellae.get(src_pe, off as usize, &mut payload) };
-                let mut buf = Vec::new();
-                frame(&Envelope::FreeHeap(off), &mut buf);
-                self.lamellae.send(src_pe, &buf);
-                self.dispatch_request(am_id, req_id, src_pe, payload);
+                unsafe { self.lamellae.get(src_pe, heap_offset as usize, &mut payload) };
+                let env = Envelope::FreeHeap(heap_offset);
+                self.lamellae
+                    .send_with(src_pe, proto::framed_len(&env), &mut |buf| frame(&env, buf));
+                self.dispatch_request(am_id, req_id, src_pe, &payload);
             }
-            Envelope::Reply(req_id, payload) => {
+            EnvelopeView::Reply { req_id, payload } => {
                 self.am_metrics.record_reply_received();
                 let cb = self
                     .pending
@@ -329,41 +354,47 @@ impl RuntimeInner {
                     .expect("reply for unknown request (duplicate or corrupt req_id)");
                 cb(Ok(payload));
             }
-            Envelope::ReplyErr(req_id, msg) => {
+            EnvelopeView::ReplyErr { req_id, msg } => {
                 self.am_metrics.record_reply_received();
-                let cb = self
-                    .pending
-                    .lock()
-                    .remove(&req_id)
-                    .expect("error reply for unknown request");
-                cb(Err(msg));
+                let cb =
+                    self.pending.lock().remove(&req_id).expect("error reply for unknown request");
+                cb(Err(msg.to_string()));
             }
-            Envelope::FreeHeap(off) => {
-                self.lamellae.free_heap(self.pe, off as usize);
+            EnvelopeView::FreeHeap { offset } => {
+                self.lamellae.free_heap(self.pe, offset as usize);
             }
         }
     }
 
-    fn dispatch_request(self: &Arc<Self>, am_id: u64, req_id: u64, src_pe: usize, payload: Vec<u8>) {
+    fn dispatch_request(self: &Arc<Self>, am_id: u64, req_id: u64, src_pe: usize, payload: &[u8]) {
         self.am_metrics.record_received();
         let vtable = lookup_am(am_id).unwrap_or_else(|| {
             panic!("incoming AM with unregistered id {am_id:#x} — register_am on every PE")
         });
         let ctx = AmContext { rt: Arc::clone(self), src_pe };
         // Deserialization runs under this runtime's context so Darcs inside
-        // the payload can resolve.
-        let fut = with_rt_context(self, || (vtable.exec)(&payload, ctx))
+        // the payload can resolve. This typed decode is the first (and only)
+        // point the payload bytes leave the receive buffer.
+        let fut = with_rt_context(self, || (vtable.exec)(payload, ctx))
             .unwrap_or_else(|e| panic!("AM payload decode failed for {}: {e}", vtable.name));
         let rt = Arc::clone(self);
         drop(self.pool.spawn(async move {
-            let env = match CatchPanic(fut).await {
-                Ok(out_bytes) => Envelope::Reply(req_id, out_bytes),
-                Err(msg) => Envelope::ReplyErr(req_id, msg),
-            };
-            let mut buf = Vec::new();
-            frame(&env, &mut buf);
+            let out = CatchPanic(fut).await;
             rt.am_metrics.record_reply_sent();
-            rt.lamellae.send(src_pe, &buf);
+            match out {
+                Ok(out_bytes) => {
+                    rt.lamellae.send_with(
+                        src_pe,
+                        proto::framed_reply_len(out_bytes.len()),
+                        &mut |buf| proto::frame_reply(buf, req_id, &out_bytes),
+                    );
+                }
+                Err(msg) => {
+                    let env = Envelope::ReplyErr(req_id, msg);
+                    rt.lamellae
+                        .send_with(src_pe, proto::framed_len(&env), &mut |buf| frame(&env, buf));
+                }
+            }
         }));
     }
 

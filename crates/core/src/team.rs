@@ -100,10 +100,7 @@ impl LamellarTeam {
         members.dedup();
         assert!(!members.is_empty(), "sub-team needs at least one PE");
         for &pe in &members {
-            assert!(
-                self.rank_of(pe).is_some(),
-                "PE {pe} is not a member of the parent team"
-            );
+            assert!(self.rank_of(pe).is_some(), "PE {pe} is not a member of the parent team");
         }
         // Root (parent rank 0) draws the id; everyone learns it via OOB.
         let shared = Arc::clone(self.rt.shared());
@@ -115,12 +112,7 @@ impl LamellarTeam {
         }
         let barrier = self.rt.shared().team_barrier(team_id, members.len());
         let info = Arc::new(TeamInfo { id: team_id, pes: members, seq: AtomicU64::new(0) });
-        Some(LamellarTeam {
-            rt: Arc::clone(&self.rt),
-            info,
-            barrier,
-            _guard: self._guard.clone(),
-        })
+        Some(LamellarTeam { rt: Arc::clone(&self.rt), info, barrier, _guard: self._guard.clone() })
     }
 
     /// Collectively allocate a [`SharedMemoryRegion`] of `len` elements per

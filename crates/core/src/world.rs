@@ -97,8 +97,7 @@ impl WorldShared {
 
     /// Register a distributed object's state under `id`.
     pub(crate) fn register_trackable(&self, id: u64, state: Weak<dyn Any + Send + Sync>) {
-        let prev =
-            self.trackables.lock().insert(id, TrackableEntry { state, pins: Vec::new() });
+        let prev = self.trackables.lock().insert(id, TrackableEntry { state, pins: Vec::new() });
         debug_assert!(prev.is_none(), "trackable id collision");
     }
 

@@ -30,28 +30,29 @@ fn darc_deref_reads_local_instance() {
 
 #[test]
 fn darc_travels_in_ams_and_mutates_remote_instance() {
-    let results = launch(4, |world| {
-        let team = world.team();
-        let counter = Darc::new(&team, AtomicUsize::new(0));
-        world.barrier();
-        // Every PE adds (pe+1) to every other PE's instance.
-        let mut handles = Vec::new();
-        for pe in 0..world.num_pes() {
-            handles.push(world.exec_am_pe(
-                pe,
-                DarcAdd { counter: counter.clone(), amount: world.my_pe() + 1 },
-            ));
-        }
-        for h in handles {
-            world.block_on(h);
-        }
-        world.wait_all();
-        world.barrier();
-        // Each instance received 1+2+3+4 = 10.
-        let local = counter.load(Ordering::Relaxed);
-        world.barrier();
-        local
-    });
+    let results =
+        launch(4, |world| {
+            let team = world.team();
+            let counter = Darc::new(&team, AtomicUsize::new(0));
+            world.barrier();
+            // Every PE adds (pe+1) to every other PE's instance.
+            let mut handles = Vec::new();
+            for pe in 0..world.num_pes() {
+                handles.push(world.exec_am_pe(
+                    pe,
+                    DarcAdd { counter: counter.clone(), amount: world.my_pe() + 1 },
+                ));
+            }
+            for h in handles {
+                world.block_on(h);
+            }
+            world.wait_all();
+            world.barrier();
+            // Each instance received 1+2+3+4 = 10.
+            let local = counter.load(Ordering::Relaxed);
+            world.barrier();
+            local
+        });
     assert_eq!(results, vec![10, 10, 10, 10]);
 }
 

@@ -4,7 +4,7 @@
 //! order.
 
 use lamellar_core::lamellae::queue::{queue_footprint, QueueTransport};
-use lamellar_core::proto::{deframe, frame, Envelope};
+use lamellar_core::proto::{deframe, frame, try_deframe_views, Envelope};
 use proptest::prelude::*;
 use rofi_sim::fabric::{Fabric, FabricConfig};
 use rofi_sim::NetConfig;
@@ -19,6 +19,7 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
         (any::<u64>(), any::<u64>(), 0u64..64, any::<u64>(), any::<u64>())
             .prop_map(|(a, r, s, o, l)| Envelope::LargeRequest(a, r, s, o, l)),
         any::<u64>().prop_map(Envelope::FreeHeap),
+        (any::<u64>(), ".{0,80}").prop_map(|(r, m)| Envelope::ReplyErr(r, m)),
     ]
 }
 
@@ -35,6 +36,90 @@ proptest! {
         }
         let out: Vec<Envelope> = deframe(&buf).collect();
         prop_assert_eq!(out, envs);
+    }
+
+    #[test]
+    fn view_stream_roundtrips(envs in prop::collection::vec(arb_envelope(), 0..20)) {
+        let mut buf = Vec::new();
+        for e in &envs {
+            frame(e, &mut buf);
+        }
+        let out: Vec<Envelope> = try_deframe_views(&buf)
+            .map(|v| v.expect("valid stream").to_owned())
+            .collect();
+        prop_assert_eq!(out, envs);
+    }
+
+    #[test]
+    fn truncated_stream_errors_without_panicking(
+        envs in prop::collection::vec(arb_envelope(), 1..8),
+        cut_permille in 0usize..1000,
+    ) {
+        let mut buf = Vec::new();
+        for e in &envs {
+            frame(e, &mut buf);
+        }
+        // Cut strictly inside the stream: whatever decodes before the cut
+        // must match a prefix of the input, and the first failure must be a
+        // clean `Err`, never a panic or an out-of-bounds read.
+        let cut = (buf.len() * cut_permille / 1000).min(buf.len().saturating_sub(1));
+        let mut ok_prefix = Vec::new();
+        let mut saw_err = false;
+        for item in try_deframe_views(&buf[..cut]) {
+            match item {
+                Ok(v) => ok_prefix.push(v.to_owned()),
+                Err(_) => { saw_err = true; }
+            }
+        }
+        prop_assert!(ok_prefix.len() <= envs.len());
+        prop_assert_eq!(&envs[..ok_prefix.len()], &ok_prefix[..]);
+        // A cut mid-frame (not on a frame boundary) must surface an error.
+        let boundary = {
+            let mut offsets = vec![0usize];
+            let mut b = Vec::new();
+            for e in &envs {
+                frame(e, &mut b);
+                offsets.push(b.len());
+            }
+            offsets.contains(&cut)
+        };
+        prop_assert_eq!(saw_err, !boundary);
+    }
+
+    #[test]
+    fn garbage_never_panics_or_overreads(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        // Arbitrary bytes: every yielded item is Ok or Err — the iterator
+        // must terminate and must never read past the slice (checked by
+        // running against an exact-length allocation under normal Rust
+        // bounds checking).
+        for item in try_deframe_views(&bytes) {
+            let _ = item;
+        }
+    }
+
+    #[test]
+    fn valid_stream_with_garbage_suffix_errors(
+        envs in prop::collection::vec(arb_envelope(), 1..6),
+        garbage in prop::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let mut buf = Vec::new();
+        for e in &envs {
+            frame(e, &mut buf);
+        }
+        buf.extend_from_slice(&garbage);
+        let mut decoded = Vec::new();
+        let mut errored = false;
+        for item in try_deframe_views(&buf) {
+            match item {
+                Ok(v) => decoded.push(v.to_owned()),
+                Err(_) => { errored = true; }
+            }
+        }
+        // Every genuine envelope may decode, but the suffix must not be
+        // silently swallowed unless it happens to parse as valid frames.
+        prop_assert!(decoded.len() >= envs.len() || errored);
+        prop_assert_eq!(&decoded[..envs.len().min(decoded.len())],
+                        &envs[..envs.len().min(decoded.len())]);
     }
 
     #[test]

@@ -81,8 +81,7 @@ fn hello_world_listing1_shape() {
 fn nested_ams_build_dependency_chains() {
     let results = launch(3, |world| {
         if world.my_pe() == 0 {
-            let trail =
-                world.block_on(world.exec_am_pe(1, RingHop { hops: 4, trail: vec![] }));
+            let trail = world.block_on(world.exec_am_pe(1, RingHop { hops: 4, trail: vec![] }));
             assert_eq!(trail, vec![1, 2, 0, 1, 2]);
         }
         world.barrier();
@@ -156,6 +155,54 @@ fn large_payload_takes_heap_path_and_roundtrips() {
 }
 
 #[test]
+fn heap_staging_stress_returns_to_baseline() {
+    // Hammer the LargeRequest/FreeHeap handshake from every PE to every
+    // other PE over many rounds, then check that every staged payload was
+    // freed: the one-sided heap must return to its pre-stress level, or the
+    // staging path leaks under load.
+    lamellar_core::am! {
+        pub struct Chunky { pub data: Vec<u8> }
+        exec(am, _ctx) -> usize {
+            am.data.len()
+        }
+    }
+    let cfg = WorldConfig::new(3).agg_threshold(1024);
+    let results = launch_with_config(cfg, |world| {
+        let lamellae = std::sync::Arc::clone(world.rt().lamellae());
+        world.barrier();
+        let baseline = lamellae.heap_in_use();
+        // 8 KiB payloads: far above the 1 KiB threshold → every remote AM
+        // stages through the heap.
+        let payload: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        assert!(payload.len() > world.rt().large_threshold());
+        for _round in 0..25 {
+            let handles: Vec<_> = (0..world.num_pes())
+                .filter(|&pe| pe != world.my_pe())
+                .map(|pe| world.exec_am_pe(pe, Chunky { data: payload.clone() }))
+                .collect();
+            for h in handles {
+                assert_eq!(world.block_on(h), payload.len());
+            }
+        }
+        world.wait_all();
+        // Two barriers: the first guarantees every peer has finished
+        // sending (so all FreeHeaps are at least enqueued), the second that
+        // every PE has pumped progress past them.
+        world.barrier();
+        world.barrier();
+        let after = lamellae.heap_in_use();
+        assert_eq!(
+            after,
+            baseline,
+            "heap staging leaked {} bytes under stress",
+            after.saturating_sub(baseline)
+        );
+        true
+    });
+    assert_eq!(results.len(), 3);
+}
+
+#[test]
 fn shmem_backend_behaves_identically() {
     let cfg = WorldConfig::new(3).backend(Backend::Shmem);
     let results = launch_with_config(cfg, |world| {
@@ -189,8 +236,7 @@ fn many_small_ams_aggregate_correctly() {
     }
     let results = launch(2, |world| {
         let dst = 1 - world.my_pe();
-        let handles: Vec<_> =
-            (0..5000u32).map(|x| world.exec_am_pe(dst, TinyAdd { x })).collect();
+        let handles: Vec<_> = (0..5000u32).map(|x| world.exec_am_pe(dst, TinyAdd { x })).collect();
         let mut ok = true;
         for (x, h) in handles.into_iter().enumerate() {
             ok &= world.block_on(h) == x as u32 + 1;
@@ -243,10 +289,7 @@ fn remote_am_panic_surfaces_at_the_caller() {
                 world.block_on(h);
             }));
             let err = res.expect_err("await must re-panic");
-            let msg = err
-                .downcast_ref::<String>()
-                .cloned()
-                .unwrap_or_default();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
             assert!(msg.contains("intentional kaboom"), "got: {msg}");
             caught = Some(msg);
         }

@@ -25,10 +25,12 @@
 //! shared injector only, used by `bench/bin/ablation_executor` to measure
 //! what work-stealing buys.
 
+pub mod backoff;
 pub mod oneshot;
 pub mod pool;
 pub mod task;
 
+pub use backoff::Backoff;
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
 pub use pool::{PoolConfig, ThreadPool};
 pub use task::JoinHandle;

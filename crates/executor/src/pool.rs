@@ -244,9 +244,12 @@ impl ThreadPool {
     /// Block until every spawned task (AM, communication task, user future)
     /// has completed — the engine behind the paper's `wait_all()`.
     pub fn wait_idle(&self) {
+        let mut backoff = crate::Backoff::new();
         while self.outstanding() != 0 {
-            if !self.try_run_one_external() {
-                std::thread::yield_now();
+            if self.try_run_one_external() {
+                backoff.reset();
+            } else {
+                backoff.snooze();
             }
         }
     }

@@ -53,9 +53,8 @@ impl Task {
         // Contain panics: a panicking AM/task must neither kill the worker
         // thread nor strand the `wait_all` accounting. The task is treated
         // as finished; its JoinHandle observes the dropped result sender.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            fut.as_mut().poll(&mut cx)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
         match result {
             Ok(Poll::Pending) => {}
             Ok(Poll::Ready(())) | Err(_) => {

@@ -111,8 +111,9 @@ impl Fabric {
         let arena_len = cfg.sym_len + cfg.heap_len;
         assert!(arena_len > 0, "arena must be non-empty");
         let arenas = (0..cfg.num_pes).map(|_| Arena::new(arena_len)).collect();
-        let heap_allocs =
-            (0..cfg.num_pes).map(|_| Mutex::new(FreeList::new(cfg.sym_len, cfg.heap_len))).collect();
+        let heap_allocs = (0..cfg.num_pes)
+            .map(|_| Mutex::new(FreeList::new(cfg.sym_len, cfg.heap_len)))
+            .collect();
         let fabric = Arc::new(Fabric {
             arenas,
             barrier: SenseBarrier::new(cfg.num_pes),
@@ -194,6 +195,12 @@ impl Fabric {
     pub fn heap_available(&self, pe: usize) -> Result<usize> {
         self.check_pe(pe)?;
         Ok(self.heap_allocs[pe].lock().available())
+    }
+
+    /// Bytes currently allocated in `pe`'s heap (staging-leak detection).
+    pub fn heap_in_use(&self, pe: usize) -> Result<usize> {
+        self.check_pe(pe)?;
+        Ok(self.heap_allocs[pe].lock().in_use())
     }
 
     /// Publish a bootstrap value under `tag` (out-of-band channel).
@@ -285,9 +292,7 @@ impl FabricPe {
         if dst_pe != self.pe {
             self.fabric.model.charge(src.len());
         }
-        self.fabric
-            .metrics
-            .record_put(src.len() as u64, self.fabric.model.inject_path(src.len()));
+        self.fabric.metrics.record_put(src.len() as u64, self.fabric.model.inject_path(src.len()));
         // SAFETY: forwarded contract.
         unsafe { arena.write(offset, src) }
     }

@@ -92,8 +92,8 @@ impl SizeHistogram {
 
     #[inline]
     pub fn record(&self, value: u64) {
-        let idx = (64 - u64::leading_zeros(value.saturating_sub(1)) as usize)
-            .min(HISTOGRAM_BUCKETS - 1);
+        let idx =
+            (64 - u64::leading_zeros(value.saturating_sub(1)) as usize).min(HISTOGRAM_BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -260,6 +260,9 @@ pub struct LamellaeMetrics {
     flushes: Counter,
     wire_parks: Counter,
     wire_retries: Counter,
+    pool_hits: Counter,
+    pool_misses: Counter,
+    pool_hwm: MaxGauge,
 }
 
 impl LamellaeMetrics {
@@ -273,6 +276,9 @@ impl LamellaeMetrics {
             flushes: Counter::new(),
             wire_parks: Counter::new(),
             wire_retries: Counter::new(),
+            pool_hits: Counter::new(),
+            pool_misses: Counter::new(),
+            pool_hwm: MaxGauge::new(),
         }
     }
 
@@ -321,6 +327,29 @@ impl LamellaeMetrics {
         }
     }
 
+    /// A buffer request was served from the pool (`hit`) or had to allocate
+    /// fresh (`miss`). The hit ratio is the "zero allocations per envelope"
+    /// acceptance signal for the aggregated message path.
+    #[inline]
+    pub fn record_pool_acquire(&self, hit: bool) {
+        if self.enabled {
+            if hit {
+                self.pool_hits.inc();
+            } else {
+                self.pool_misses.inc();
+            }
+        }
+    }
+
+    /// Record `outstanding` pool buffers checked out simultaneously
+    /// (high-water gauge — bounds the pool's steady-state footprint).
+    #[inline]
+    pub fn record_pool_outstanding(&self, outstanding: u64) {
+        if self.enabled {
+            self.pool_hwm.record(outstanding);
+        }
+    }
+
     pub fn snapshot(&self) -> LamellaeStats {
         LamellaeStats {
             msgs_sent: self.msgs_sent.get(),
@@ -330,6 +359,9 @@ impl LamellaeMetrics {
             flushes: self.flushes.get(),
             wire_parks: self.wire_parks.get(),
             wire_retries: self.wire_retries.get(),
+            pool_hits: self.pool_hits.get(),
+            pool_misses: self.pool_misses.get(),
+            pool_hwm: self.pool_hwm.get(),
         }
     }
 }
@@ -551,6 +583,13 @@ pub struct LamellaeStats {
     pub flushes: u64,
     pub wire_parks: u64,
     pub wire_retries: u64,
+    /// Buffer-pool acquires served by a recycled buffer.
+    pub pool_hits: u64,
+    /// Buffer-pool acquires that allocated fresh (pool empty).
+    pub pool_misses: u64,
+    /// High-water mark of simultaneously checked-out pool buffers (gauge:
+    /// [`delta`](Self::delta) carries the later value through unchanged).
+    pub pool_hwm: u64,
 }
 
 impl LamellaeStats {
@@ -563,7 +602,17 @@ impl LamellaeStats {
             flushes: self.flushes.saturating_sub(earlier.flushes),
             wire_parks: self.wire_parks.saturating_sub(earlier.wire_parks),
             wire_retries: self.wire_retries.saturating_sub(earlier.wire_retries),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+            pool_hwm: self.pool_hwm,
         }
+    }
+
+    /// Fraction of pool acquires served without allocating, in `[0, 1]`;
+    /// `None` before the first acquire.
+    pub fn pool_hit_rate(&self) -> Option<f64> {
+        let total = self.pool_hits + self.pool_misses;
+        (total > 0).then(|| self.pool_hits as f64 / total as f64)
     }
 }
 
@@ -672,6 +721,9 @@ impl fmt::Display for RuntimeStats {
         row("lamellae", "flushes", self.lamellae.flushes.to_string())?;
         row("lamellae", "wire_parks", self.lamellae.wire_parks.to_string())?;
         row("lamellae", "wire_retries", self.lamellae.wire_retries.to_string())?;
+        row("lamellae", "pool_hits", self.lamellae.pool_hits.to_string())?;
+        row("lamellae", "pool_misses", self.lamellae.pool_misses.to_string())?;
+        row("lamellae", "pool_hwm", self.lamellae.pool_hwm.to_string())?;
         row("executor", "spawned", self.executor.spawned.to_string())?;
         row("executor", "completed", self.executor.completed.to_string())?;
         row("executor", "stolen", self.executor.stolen.to_string())?;
@@ -839,8 +891,31 @@ mod tests {
         }
         assert!(table.contains("inject_puts"));
         assert!(table.contains("wire_parks"));
+        assert!(table.contains("pool_hits"));
+        assert!(table.contains("pool_hwm"));
         assert!(table.contains("queue_depth_hwm"));
         assert!(table.contains("batch_sub_batches"));
+    }
+
+    #[test]
+    fn pool_counters_and_hit_rate() {
+        let l = LamellaeMetrics::new(true);
+        assert_eq!(l.snapshot().pool_hit_rate(), None);
+        l.record_pool_acquire(false);
+        for _ in 0..19 {
+            l.record_pool_acquire(true);
+        }
+        l.record_pool_outstanding(3);
+        l.record_pool_outstanding(2);
+        let s = l.snapshot();
+        assert_eq!(s.pool_hits, 19);
+        assert_eq!(s.pool_misses, 1);
+        assert_eq!(s.pool_hwm, 3);
+        assert!((s.pool_hit_rate().unwrap() - 0.95).abs() < 1e-9);
+        // Gauge semantics: delta keeps the later high-water value.
+        let d = s.delta(&s);
+        assert_eq!(d.pool_hits, 0);
+        assert_eq!(d.pool_hwm, 3);
     }
 
     #[test]

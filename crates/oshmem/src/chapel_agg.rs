@@ -102,11 +102,7 @@ impl SrcAggregator {
     /// Create a gather aggregator over `table`.
     pub fn new(ctx: &ShmemCtx, table: SymSlice<u64>, capacity: usize) -> Self {
         let capacity = if capacity == 0 { DEFAULT_BUF } else { capacity };
-        SrcAggregator {
-            table,
-            bufs: vec![Vec::with_capacity(capacity); ctx.n_pes()],
-            capacity,
-        }
+        SrcAggregator { table, bufs: vec![Vec::with_capacity(capacity); ctx.n_pes()], capacity }
     }
 
     /// Buffer `out[slot] = table[index]@pe`; flushes when the buffer for

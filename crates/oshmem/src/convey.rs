@@ -168,9 +168,8 @@ mod tests {
             let me = ctx.my_pe();
             let k = 50usize;
             let mut conv = Convey::<u64>::new(&ctx, 8);
-            let mut outgoing: VecDeque<(usize, u64)> = (0..n * k)
-                .map(|i| (i % n, (me * 1_000_000 + i) as u64))
-                .collect();
+            let mut outgoing: VecDeque<(usize, u64)> =
+                (0..n * k).map(|i| (i % n, (me * 1_000_000 + i) as u64)).collect();
             let mut got: Vec<u64> = Vec::new();
             loop {
                 while let Some((dst, item)) = outgoing.pop_front() {

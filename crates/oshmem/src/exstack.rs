@@ -73,8 +73,8 @@ impl<T: Copy + Default> Exstack<T> {
             buf.clear();
         }
         ctx.barrier_all(); // all puts complete
-        // SAFETY: between the barriers above and the next exchange's first
-        // barrier, this PE is the only accessor of its inbox.
+                           // SAFETY: between the barriers above and the next exchange's first
+                           // barrier, this PE is the only accessor of its inbox.
         let counts = unsafe { ctx.local_slice(self.counts) };
         self.drained_counts.copy_from_slice(counts);
         self.drain = (0, 0);
@@ -129,9 +129,8 @@ mod tests {
             let n = ctx.n_pes();
             let me = ctx.my_pe();
             let mut ex = Exstack::<u64>::new(&ctx, 16);
-            let mut outgoing: Vec<(usize, u64)> = (0..10 * n)
-                .map(|i| (i % n, (me * 1000 + i) as u64))
-                .collect();
+            let mut outgoing: Vec<(usize, u64)> =
+                (0..10 * n).map(|i| (i % n, (me * 1000 + i) as u64)).collect();
             let mut received = Vec::new();
             let mut i = 0;
             while ex.proceed(&ctx, i == outgoing.len()) {

@@ -138,11 +138,13 @@ impl<T: Copy> Exstack2<T> {
         let inbox = &mut self.inbox;
         let mut got = 0u64;
         self.q.progress(&mut |src, raw| {
-            let items = raw.len() / std::mem::size_of::<T>();
-            // SAFETY: senders stage exactly whole T items.
-            let slice =
-                unsafe { std::slice::from_raw_parts(raw.as_ptr() as *const T, items) };
-            for &it in slice {
+            let size = std::mem::size_of::<T>();
+            let items = raw.len() / size;
+            for i in 0..items {
+                // SAFETY: senders stage exactly whole T items; the pooled
+                // receive buffer carries no alignment guarantee for T, so
+                // read each item unaligned instead of building a &[T].
+                let it = unsafe { (raw.as_ptr().add(i * size) as *const T).read_unaligned() };
                 inbox.push_back((src, it));
             }
             got += items as u64;
@@ -192,20 +194,19 @@ impl<T: Copy> Exstack2<T> {
         for dst in 0..ctx.n_pes() {
             self.transmit(ctx, dst);
         }
-        if im_done
-            && !self.announced_done {
-                self.announced_done = true;
-                for pe in 0..ctx.n_pes() {
-                    ctx.atomic_u64(self.done, pe, ctx.my_pe()).store(1, Ordering::Release);
-                }
+        if im_done && !self.announced_done {
+            self.announced_done = true;
+            for pe in 0..ctx.n_pes() {
+                ctx.atomic_u64(self.done, pe, ctx.my_pe()).store(1, Ordering::Release);
             }
+        }
         if !self.inbox.is_empty() {
             self.why.0 += 1;
             return true;
         }
         // SAFETY-free: flags and counters are atomics.
-        let all_done =
-            (0..ctx.n_pes()).all(|pe| ctx.atomic_u64(self.done, ctx.my_pe(), pe).load(Ordering::Acquire) == 1);
+        let all_done = (0..ctx.n_pes())
+            .all(|pe| ctx.atomic_u64(self.done, ctx.my_pe(), pe).load(Ordering::Acquire) == 1);
         if !all_done {
             self.why.1 += 1;
             std::thread::yield_now();
@@ -221,7 +222,9 @@ impl<T: Copy> Exstack2<T> {
         let sent = ctx.atomic_u64(self.counters, 0, 0).load(Ordering::Acquire);
         let recv = ctx.atomic_u64(self.counters, 0, 1).load(Ordering::Acquire);
         let more = sent != recv || !self.inbox.is_empty();
-        if more { self.why.3 += 1; }
+        if more {
+            self.why.3 += 1;
+        }
         if more && !arrived {
             // Waiting on peers with nothing locally to do: hand the core
             // over instead of burning the scheduler quantum (PEs share

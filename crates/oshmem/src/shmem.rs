@@ -201,10 +201,7 @@ impl ShmemCtx {
         // SAFETY: symmetric allocations are live and in bounds; caller
         // provides synchronization.
         unsafe {
-            std::slice::from_raw_parts(
-                arena.base_ptr().add(slice.offset) as *const T,
-                slice.len,
-            )
+            std::slice::from_raw_parts(arena.base_ptr().add(slice.offset) as *const T, slice.len)
         }
     }
 
@@ -223,7 +220,12 @@ impl ShmemCtx {
 
     /// Atomic view of a local/remote `u64` slot — used by the aggregation
     /// libraries' flag protocols.
-    pub fn atomic_u64(&self, slice: SymSlice<u64>, pe: usize, index: usize) -> &std::sync::atomic::AtomicU64 {
+    pub fn atomic_u64(
+        &self,
+        slice: SymSlice<u64>,
+        pe: usize,
+        index: usize,
+    ) -> &std::sync::atomic::AtomicU64 {
         self.ep.atomic_u64(pe, slice.byte_off(index)).expect("aligned symmetric slot")
     }
 
@@ -266,9 +268,7 @@ where
             let f = Arc::clone(&f);
             std::thread::Builder::new()
                 .name(format!("shmem-pe{}", ep.pe()))
-                .spawn(move || {
-                    f(ShmemCtx { ep, world, sym_seq: std::cell::Cell::new(0) })
-                })
+                .spawn(move || f(ShmemCtx { ep, world, sym_seq: std::cell::Cell::new(0) }))
                 .expect("spawn shmem pe")
         })
         .collect();

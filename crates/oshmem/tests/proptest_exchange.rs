@@ -85,9 +85,7 @@ fn check_exactly_once(
         got.sort_unstable();
         let mut expect: Vec<(usize, u64)> = (0..npes)
             .flat_map(|src| {
-                plan.iter()
-                    .filter(|&&(dst, _)| dst % npes == d)
-                    .map(move |&(_, tag)| (src, tag))
+                plan.iter().filter(|&&(dst, _)| dst % npes == d).map(move |&(_, tag)| (src, tag))
             })
             .collect();
         expect.sort_unstable();

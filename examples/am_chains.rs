@@ -59,10 +59,9 @@ fn main() {
 
         if world.my_pe() == 0 {
             let hops = laps * world.num_pes();
-            let trail = world.block_on(world.exec_am_pe(
-                0,
-                RingAm { counter: counter.clone(), hops, trail: vec![] },
-            ));
+            let trail = world.block_on(
+                world.exec_am_pe(0, RingAm { counter: counter.clone(), hops, trail: vec![] }),
+            );
             println!("trail: {trail:?}");
             assert_eq!(trail.len(), hops + 1);
         }

@@ -113,9 +113,7 @@ fn main() {
         }
         if me == 0 {
             assert_eq!(world.block_on(dist.load(0)), 0);
-            let reached = world.block_on(
-                dist.dist_iter().filter(|&d| d != UNSET).count_local(),
-            );
+            let reached = world.block_on(dist.dist_iter().filter(|&d| d != UNSET).count_local());
             println!(
                 "bfs: {n} vertices, degree {degree}, {npes} PEs: {} levels in {elapsed:?} (pe0 reached {reached} locally)",
                 level

@@ -41,11 +41,7 @@ fn main() {
         let initial: f64 = world.block_on(field.sum());
         for _step in 0..steps {
             // Halo reads via safe loads (AM-routed to the owners).
-            let left = if my_start > 0 {
-                world.block_on(field.load(my_start - 1))
-            } else {
-                0.0
-            };
+            let left = if my_start > 0 { world.block_on(field.load(my_start - 1)) } else { 0.0 };
             let right = if my_start + my_len < grid {
                 world.block_on(field.load(my_start + my_len))
             } else {
@@ -72,10 +68,7 @@ fn main() {
         let total: f64 = world.block_on(field.sum());
         if me == 0 {
             println!("heat: initial {initial:.3}, after {steps} steps {total:.3}");
-            assert!(
-                (total - initial).abs() < 1e-6 * initial.max(1.0),
-                "heat not conserved"
-            );
+            assert!((total - initial).abs() < 1e-6 * initial.max(1.0), "heat not conserved");
             let mid = world.block_on(field.load(grid / 2));
             println!("spike diffused: center now {mid:.3} (< 1000)");
             assert!(mid < 1000.0);

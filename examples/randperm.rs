@@ -17,17 +17,11 @@ use lamellar_repro::util::env_usize;
 fn main() {
     let num_pes = env_usize("LAMELLAR_PES", 2);
     let perm_per_pe = env_usize("PERM_PER_PE", 20_000);
-    let cfg = PermConfig {
-        perm_per_pe,
-        target_per_pe: 2 * perm_per_pe,
-        batch: 4_096,
-        seed: 0xD1CE,
-    };
+    let cfg =
+        PermConfig { perm_per_pe, target_per_pe: 2 * perm_per_pe, batch: 4_096, seed: 0xD1CE };
 
-    type Variant = (
-        &'static str,
-        fn(&LamellarWorld, &PermConfig) -> bale_suite::common::KernelResult,
-    );
+    type Variant =
+        (&'static str, fn(&LamellarWorld, &PermConfig) -> bale_suite::common::KernelResult);
     let variants: [Variant; 4] = [
         ("Array Darts ", randperm_array_darts),
         ("AM Darts    ", randperm_am_darts),

@@ -4,8 +4,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo build --release"
 cargo build --release --workspace
+
+echo "==> cargo build --release -p lamellar-bench (benches compile)"
+cargo build --release -p lamellar-bench --bins
 
 echo "==> cargo test -q"
 cargo test -q --workspace

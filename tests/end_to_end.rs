@@ -42,20 +42,15 @@ fn ams_darcs_and_arrays_compose() {
 #[test]
 fn histogram_kernel_small_end_to_end() {
     let cfg = bale_suite::common::TableConfig::test_small();
-    let results = launch(2, move |world| {
-        bale_suite::histo::histo_lamellar_atomic_array(&world, &cfg)
-    });
+    let results =
+        launch(2, move |world| bale_suite::histo::histo_lamellar_atomic_array(&world, &cfg));
     assert!(results.iter().all(|r| r.global_ops == cfg.updates_per_pe * 2));
 }
 
 #[test]
 fn randperm_all_variants_agree_on_small_input() {
-    let cfg = bale_suite::common::PermConfig {
-        perm_per_pe: 64,
-        target_per_pe: 128,
-        batch: 16,
-        seed: 99,
-    };
+    let cfg =
+        bale_suite::common::PermConfig { perm_per_pe: 64, target_per_pe: 128, batch: 16, seed: 99 };
     // Each variant verifies internally that it produced a permutation.
     launch(2, move |world| {
         bale_suite::randperm::randperm_array_darts(&world, &cfg);
@@ -69,9 +64,7 @@ fn randperm_all_variants_agree_on_small_input() {
 fn shmem_and_lamellar_histograms_conserve_identically() {
     // Same seed, same stream: both substrates must count the same totals.
     let cfg = bale_suite::common::TableConfig::test_small();
-    let lamellar = launch(2, move |world| {
-        bale_suite::histo::histo_lamellar_am(&world, &cfg)
-    });
+    let lamellar = launch(2, move |world| bale_suite::histo::histo_lamellar_am(&world, &cfg));
     let shmem = oshmem_sim::shmem_launch(2, 16, move |ctx| {
         bale_suite::histo::baselines::histo_exstack(&ctx, &cfg)
     });

@@ -104,6 +104,50 @@ fn two_pe_am_round_trip_increments_every_layer() {
     }
 }
 
+lamellar_core::am! {
+    /// Histogram-style update: bump a slot index (fire-and-forget shape).
+    pub struct Bump { pub slot: u64 }
+    exec(am, _ctx) -> u64 {
+        am.slot
+    }
+}
+
+#[test]
+fn buffer_pool_hit_rate_is_high_under_histo_traffic() {
+    // Histogram-benchmark traffic shape: batches of small AMs fanned out
+    // to the peer, `wait_all` pacing each batch (as the histo kernel
+    // does). The pool grows to the first batch's backlog, then recycles:
+    // steady-state hit rate ≥ 95% is the zero-copy path's acceptance bar.
+    // A 1 KiB threshold makes chunks actually cycle (the default 100 KiB
+    // would fit the whole run in a handful of chunks, leaving warm-up
+    // misses dominant).
+    let cfg = WorldConfig::new(2).backend(Backend::Rofi).agg_threshold(1024);
+    let stats = lamellar_core::world::launch_with_config(cfg, |world| {
+        let mut slot = 0u64;
+        for _round in 0..50 {
+            for _ in 0..200 {
+                let dst = (world.my_pe() + 1) % world.num_pes();
+                drop(world.exec_am_pe(dst, Bump { slot }));
+                slot += 1;
+            }
+            world.wait_all();
+        }
+        world.barrier();
+        world.stats()
+    });
+    for (pe, s) in stats.iter().enumerate() {
+        let rate = s.lamellae.pool_hit_rate().expect("pool was exercised");
+        assert!(
+            rate >= 0.95,
+            "PE{pe} buffer-pool hit rate {:.3} below 0.95 ({} hits / {} misses, hwm {})",
+            rate,
+            s.lamellae.pool_hits,
+            s.lamellae.pool_misses,
+            s.lamellae.pool_hwm
+        );
+    }
+}
+
 #[test]
 fn disabled_metrics_read_zero_everywhere() {
     let cfg = WorldConfig::new(2).backend(Backend::Rofi).metrics(false);
