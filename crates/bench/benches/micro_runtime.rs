@@ -79,6 +79,7 @@ fn bench_wire(c: &mut Criterion) {
         heap_len: 4096,
         net: NetConfig::disabled(),
         metrics: metrics_enabled(),
+        fault: None,
     });
     let base = endpoints[0].fabric().alloc_symmetric(queue_footprint(2, buf_size), 64).unwrap();
     let qs: Vec<Arc<QueueTransport>> = endpoints

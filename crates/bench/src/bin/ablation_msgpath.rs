@@ -64,6 +64,7 @@ fn harness() -> Harness {
         heap_len: 4096,
         net: NetConfig::disabled(),
         metrics: true,
+        fault: None,
     });
     let base = eps[0].fabric().alloc_symmetric(queue_footprint(2, buf_size), 64).unwrap();
     let ep1 = eps.pop().unwrap();

@@ -55,6 +55,7 @@ fn rofi_series(sizes: &[usize], budget: usize) -> Vec<f64> {
         heap_len: 4096,
         net: NetConfig::from_env(),
         metrics: true,
+        fault: None,
     });
     let r1 = Rofi::init(eps.pop().unwrap());
     let r0 = Rofi::init(eps.pop().unwrap());

@@ -15,6 +15,7 @@
 //! hash of the type name, and registration happens transparently on first
 //! launch (all simulated PEs share the process, hence the registry).
 
+use crate::lamellae::CommError;
 pub use crate::runtime::AmContext;
 use lamellar_codec::{typeid::type_hash_of, Codec, CodecError};
 use lamellar_executor::OneshotReceiver;
@@ -99,17 +100,54 @@ pub fn lookup_am(id: u64) -> Option<AmVTable> {
     registry().read().get(&id).copied()
 }
 
+/// Why an AM request failed to produce its output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AmError {
+    /// The AM's `exec` panicked on its destination PE; the payload is the
+    /// remote panic message.
+    RemotePanic(String),
+    /// The runtime could not deliver the request — or gave up on the
+    /// destination after the reliable layer exhausted its retries. Note the
+    /// inherent ambiguity of [`CommError::PeerUnreachable`]: the request
+    /// may or may not have executed remotely before the pair died; only
+    /// the reply is known lost.
+    Comm(CommError),
+}
+
+impl std::fmt::Display for AmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmError::RemotePanic(msg) => write!(f, "AM panicked on its destination PE: {msg}"),
+            AmError::Comm(e) => write!(f, "AM delivery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AmError {}
+
 /// A typed handle to one in-flight AM request.
 ///
 /// Awaiting it yields the AM's `Output` once the destination PE has executed
 /// the AM and the reply has arrived (reply payloads are decoded by the
 /// runtime in a context where Darcs can resolve). If the AM panicked on its
-/// destination, awaiting re-panics *here* with the remote message — the
-/// caller is the right place for the error to surface (a lost reply would
-/// otherwise hang `block_on`). Dropping the handle detaches: the AM still
-/// runs, and `wait_all()` still accounts for it.
+/// destination — or the runtime declared the destination unreachable —
+/// awaiting panics *here* with the failure message; the caller is the right
+/// place for the error to surface (a lost reply would otherwise hang
+/// `block_on`). Callers that want to handle failure instead of crashing
+/// convert with [`AmHandle::fallible`]. Dropping the handle detaches: the
+/// AM still runs, and `wait_all()` still accounts for it.
 pub struct AmHandle<T> {
-    pub(crate) rx: OneshotReceiver<Result<T, String>>,
+    pub(crate) rx: OneshotReceiver<Result<T, AmError>>,
+}
+
+impl<T> AmHandle<T> {
+    /// Convert into a handle that resolves to `Result` instead of
+    /// panicking: `Err(AmError::Comm(_))` when the destination became
+    /// unreachable (fault-plane worlds), `Err(AmError::RemotePanic(_))`
+    /// when the AM crashed remotely.
+    pub fn fallible(self) -> FallibleAmHandle<T> {
+        FallibleAmHandle { rx: self.rx }
+    }
 }
 
 impl<T> Future for AmHandle<T> {
@@ -118,9 +156,7 @@ impl<T> Future for AmHandle<T> {
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         match Pin::new(&mut self.rx).poll(cx) {
             Poll::Ready(Some(Ok(v))) => Poll::Ready(v),
-            Poll::Ready(Some(Err(msg))) => {
-                panic!("AM panicked on its destination PE: {msg}")
-            }
+            Poll::Ready(Some(Err(e))) => panic!("{e}"),
             Poll::Ready(None) => panic!("AM completed without a reply"),
             Poll::Pending => Poll::Pending,
         }
@@ -130,6 +166,34 @@ impl<T> Future for AmHandle<T> {
 impl<T> std::fmt::Debug for AmHandle<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("AmHandle")
+    }
+}
+
+/// The `Result`-returning counterpart of [`AmHandle`], for callers that
+/// treat delivery failure as data rather than a crash (see
+/// [`AmHandle::fallible`]). Every future resolves, even on a severed
+/// PE pair — never hangs, never panics on comm failure.
+pub struct FallibleAmHandle<T> {
+    rx: OneshotReceiver<Result<T, AmError>>,
+}
+
+impl<T> Future for FallibleAmHandle<T> {
+    type Output = Result<T, AmError>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Some(out)) => Poll::Ready(out),
+            // The runtime always sends Ok or Err before dropping the
+            // sender; a dropped channel is a runtime bug, not a comm fault.
+            Poll::Ready(None) => panic!("AM completed without a reply"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for FallibleAmHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FallibleAmHandle")
     }
 }
 

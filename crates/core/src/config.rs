@@ -1,5 +1,8 @@
 //! Runtime configuration: backend selection and tunables.
 
+use rofi_sim::FaultConfig;
+use std::time::Duration;
+
 /// Which Lamellae implementation backs a world (paper Sec. III-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
@@ -46,6 +49,23 @@ pub struct WorldConfig {
     /// registries still exist but every record is a single predictable
     /// branch — effectively free.
     pub metrics: bool,
+    /// Fault-injection plane (DESIGN.md §4b): a seeded, deterministic
+    /// injector that drops/duplicates/delays/truncates/bit-flips wire
+    /// chunks and fails allocations. Its presence switches the transport
+    /// into reliable-delivery mode (sequence numbers, acks, retransmits).
+    /// `None` (the default) runs the loss-free fast path with zero
+    /// overhead. The plane is armed only after world bootstrap, so runtime
+    /// construction itself is never faulted.
+    pub fault: Option<FaultConfig>,
+    /// Reliable-delivery retransmit timeout (only meaningful when `fault`
+    /// is set): how long the oldest unacked wire chunk may wait before a
+    /// go-back-N round fires. The default
+    /// ([`crate::lamellae::queue::RETRANSMIT_TIMEOUT`], 1 ms) recovers
+    /// fast; raise it when seeded-counter reproducibility must survive OS
+    /// scheduling stalls (a stall longer than the timeout fires a spurious
+    /// retransmit, which bumps attempt numbers and thus re-rolls fault
+    /// verdicts).
+    pub retransmit_timeout: Duration,
 }
 
 /// The paper's default aggregation threshold (100 KiB).
@@ -72,6 +92,8 @@ impl WorldConfig {
             sym_len: 0, // resolved by `resolve`
             heap_len: 32 << 20,
             metrics,
+            fault: None,
+            retransmit_timeout: crate::lamellae::queue::RETRANSMIT_TIMEOUT,
         }
     }
 
@@ -127,6 +149,22 @@ impl WorldConfig {
     /// ([`crate::world::LamellarWorld::stats`]).
     pub fn metrics(mut self, on: bool) -> Self {
         self.metrics = on;
+        self
+    }
+
+    /// Attach a fault-injection plane (and thereby enable reliable
+    /// delivery). Only meaningful on the Rofi/Shmem backends — the SMP
+    /// loopback has no wire to fault.
+    pub fn faults(mut self, cfg: FaultConfig) -> Self {
+        self.fault = Some(cfg);
+        self
+    }
+
+    /// Set the reliable-delivery retransmit timeout (see the field doc for
+    /// the latency/determinism trade-off). Only meaningful together with
+    /// [`WorldConfig::faults`].
+    pub fn retransmit_timeout(mut self, t: Duration) -> Self {
+        self.retransmit_timeout = t;
         self
     }
 }

@@ -11,9 +11,9 @@
 
 use crate::config::Backend;
 use crate::lamellae::queue::QueueTransport;
-use crate::lamellae::Lamellae;
-use lamellar_metrics::{FabricStats, LamellaeStats};
-use rofi_sim::FabricPe;
+use crate::lamellae::{CommError, Lamellae};
+use lamellar_metrics::{FabricStats, FaultStats, LamellaeStats};
+use rofi_sim::{FabricError, FabricPe};
 
 /// A Lamellae over the simulated fabric.
 pub struct FabricLamellae {
@@ -54,6 +54,14 @@ impl FabricLamellae {
             metrics,
         );
         FabricLamellae { ep, queues, backend }
+    }
+
+    /// Override the reliable-delivery retransmit timeout (builder-style;
+    /// threaded down from `WorldConfig::retransmit_timeout`). No effect
+    /// without an armed fault plane.
+    pub fn with_retransmit_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.queues = self.queues.with_retransmit_timeout(timeout);
+        self
     }
 
     /// The underlying fabric endpoint (used by memregions for atomics).
@@ -99,7 +107,7 @@ impl Lamellae for FabricLamellae {
     }
 
     fn alloc_symmetric(&self, size: usize, align: usize) -> usize {
-        self.ep.fabric().alloc_symmetric(size, align).expect("symmetric region exhausted")
+        self.try_alloc_symmetric(size, align).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn free_symmetric(&self, offset: usize) {
@@ -107,7 +115,7 @@ impl Lamellae for FabricLamellae {
     }
 
     fn alloc_heap(&self, size: usize, align: usize) -> usize {
-        self.ep.fabric().alloc_heap(self.ep.pe(), size, align).expect("one-sided heap exhausted")
+        self.try_alloc_heap(size, align).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn free_heap(&self, pe: usize, offset: usize) {
@@ -154,6 +162,47 @@ impl Lamellae for FabricLamellae {
 
     fn lamellae_stats(&self) -> LamellaeStats {
         self.queues.stats()
+    }
+
+    fn try_send_with(
+        &self,
+        dst: usize,
+        len: usize,
+        fill: &mut dyn FnMut(&mut Vec<u8>),
+    ) -> Result<(), CommError> {
+        self.queues.try_send_with(dst, len, fill)
+    }
+
+    fn try_flush(&self) -> Result<(), CommError> {
+        self.queues.try_flush()
+    }
+
+    fn try_alloc_heap(&self, size: usize, align: usize) -> Result<usize, CommError> {
+        self.ep.fabric().alloc_heap(self.ep.pe(), size, align).map_err(map_alloc_err)
+    }
+
+    fn try_alloc_symmetric(&self, size: usize, align: usize) -> Result<usize, CommError> {
+        self.ep.fabric().alloc_symmetric(size, align).map_err(map_alloc_err)
+    }
+
+    fn take_comm_failures(&self) -> Vec<usize> {
+        self.queues.take_comm_failures()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.ep.fabric().fault_plane().map(|p| p.stats()).unwrap_or_default()
+    }
+}
+
+/// Translate a fabric allocation failure into the lamellae-level taxonomy.
+pub(crate) fn map_alloc_err(e: FabricError) -> CommError {
+    match e {
+        FabricError::OutOfMemory { requested, available } => {
+            CommError::AllocFailed { requested, available }
+        }
+        // Allocation paths only fail with OutOfMemory; anything else is a
+        // runtime bug worth surfacing loudly.
+        other => panic!("unexpected fabric allocation error: {other:?}"),
     }
 }
 

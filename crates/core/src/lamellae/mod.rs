@@ -28,7 +28,58 @@ pub use fabric_backend::FabricLamellae;
 pub use smp::SmpLamellae;
 
 use crate::config::Backend;
-use lamellar_metrics::{FabricStats, LamellaeStats};
+use lamellar_metrics::{FabricStats, FaultStats, LamellaeStats};
+
+/// A communication failure surfaced by a fallible lamellae operation.
+///
+/// Infallible legacy methods ([`Lamellae::send`], [`Lamellae::alloc_heap`])
+/// paper over these by dropping or panicking; the `try_*` variants return
+/// them so the runtime can degrade gracefully — resolve an AM future to
+/// `Err` instead of hanging, shed load instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A heap or symmetric allocation could not be satisfied (genuine
+    /// exhaustion, or an armed fault plane failing it artificially).
+    AllocFailed {
+        /// Bytes the caller asked for.
+        requested: usize,
+        /// Bytes the allocator had free at the time.
+        available: usize,
+    },
+    /// Retries toward `pe` were exhausted by the reliable-delivery layer;
+    /// the pair is dead for the rest of the world's lifetime and queued
+    /// traffic toward it has been discarded.
+    PeerUnreachable {
+        /// The unreachable destination PE.
+        pe: usize,
+    },
+    /// A single framed message exceeded the wire-chunk capacity (large
+    /// payloads must take the heap-staging path instead).
+    MessageTooLarge {
+        /// The framed message length.
+        len: usize,
+        /// The largest single message the wire can carry.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::AllocFailed { requested, available } => {
+                write!(f, "allocation failed: requested {requested} bytes, {available} free")
+            }
+            CommError::PeerUnreachable { pe } => {
+                write!(f, "PE {pe} unreachable: delivery retries exhausted")
+            }
+            CommError::MessageTooLarge { len, max } => {
+                write!(f, "message of {len} bytes exceeds wire buffer capacity of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// The interface between the runtime and a network backend.
 ///
@@ -143,5 +194,72 @@ pub trait Lamellae: Send + Sync + 'static {
     /// counts). Backends without wire queues return zeros.
     fn lamellae_stats(&self) -> LamellaeStats {
         LamellaeStats::default()
+    }
+
+    /// Fallible [`Lamellae::send_with`]: refuses oversized messages and
+    /// sends toward dead destinations instead of panicking/dropping.
+    ///
+    /// # Errors
+    /// [`CommError::MessageTooLarge`] when `len` exceeds the wire-chunk
+    /// capacity; [`CommError::PeerUnreachable`] when the reliable-delivery
+    /// layer has declared `dst` dead. The default implementation (backends
+    /// without a fallible path) always succeeds.
+    fn try_send_with(
+        &self,
+        dst: usize,
+        len: usize,
+        fill: &mut dyn FnMut(&mut Vec<u8>),
+    ) -> Result<(), CommError> {
+        self.send_with(dst, len, fill);
+        Ok(())
+    }
+
+    /// Fallible [`Lamellae::flush`]: pushes every waiting byte toward the
+    /// wire and reports destinations that have become unreachable.
+    ///
+    /// # Errors
+    /// [`CommError::PeerUnreachable`] naming one dead destination if any
+    /// pair has exhausted its delivery retries (the flush itself still runs
+    /// for all live pairs). The default implementation always succeeds.
+    fn try_flush(&self) -> Result<(), CommError> {
+        self.flush();
+        Ok(())
+    }
+
+    /// Fallible [`Lamellae::alloc_heap`]: reports exhaustion (or injected
+    /// allocation failure) instead of panicking.
+    ///
+    /// # Errors
+    /// [`CommError::AllocFailed`] when this PE's one-sided heap cannot
+    /// satisfy the request. The default implementation panics on
+    /// exhaustion (backends without fallible allocation).
+    fn try_alloc_heap(&self, size: usize, align: usize) -> Result<usize, CommError> {
+        Ok(self.alloc_heap(size, align))
+    }
+
+    /// Fallible [`Lamellae::alloc_symmetric`].
+    ///
+    /// # Errors
+    /// [`CommError::AllocFailed`] when the symmetric region cannot satisfy
+    /// the request. Note that a *collective* symmetric allocation failing on
+    /// one PE but not others has no consensus protocol — callers treating
+    /// this as recoverable must coordinate the outcome themselves.
+    fn try_alloc_symmetric(&self, size: usize, align: usize) -> Result<usize, CommError> {
+        Ok(self.alloc_symmetric(size, align))
+    }
+
+    /// Drain the list of destination PEs newly declared unreachable by the
+    /// reliable-delivery layer (each PE is reported exactly once). The
+    /// runtime polls this from its progress tick to fail pending AM
+    /// futures. Backends without delivery tracking return an empty list.
+    fn take_comm_failures(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Typed snapshot of the fault-injection counters (what the injector
+    /// did to the traffic). All-zero when no fault plane is armed or the
+    /// backend has none.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
     }
 }

@@ -44,22 +44,68 @@
 //! would deadlock two peers whose progress engines are each stuck flushing
 //! toward the other; with parking, every `progress` tick both drains
 //! incoming traffic (freeing the peer's buffers) and retries parked chunks.
+//!
+//! ## Reliable delivery (fault-plane worlds)
+//!
+//! When the fabric carries a [`FaultPlane`], chunk deliveries can be
+//! dropped, duplicated, delayed, truncated, or bit-flipped, so the
+//! transport switches to a go-back-N reliable layer (DESIGN.md §4b):
+//!
+//! * every sealed chunk gets a [`CHUNK_HDR_LEN`]-byte header — per-pair
+//!   sequence number + checksum over header and payload;
+//! * sent chunks are retained (pool release deferred) until the receiver's
+//!   cumulative ack — an atomic word per peer in the symmetric block,
+//!   written back into the *sender's* arena — covers them;
+//! * the receiver delivers only the exact next sequence number, suppresses
+//!   duplicates, discards gapped or corrupt chunks, and re-acks;
+//! * an unacked chunk older than [`RETRANSMIT_TIMEOUT`] triggers go-back-N
+//!   retransmission of everything outstanding; after [`MAX_RETRY_ROUNDS`]
+//!   consecutive rounds without progress the destination is declared dead,
+//!   queued traffic is discarded, and the failure surfaces through
+//!   [`QueueTransport::take_comm_failures`] /
+//!   [`CommError::PeerUnreachable`].
+//!
+//! Acks, like barriers and the out-of-band channel, are control plane and
+//! never faulted. Without a fault plane none of this machinery runs: no
+//! header bytes, no ack writes, byte-identical wire traffic to PR 2.
+//!
+//! [`CHUNK_HDR_LEN`]: crate::proto::CHUNK_HDR_LEN
 
+use crate::lamellae::CommError;
+use crate::proto::{read_chunk_header, write_chunk_header, CHUNK_HDR_LEN};
 use lamellar_metrics::{LamellaeMetrics, LamellaeStats};
 use parking_lot::Mutex;
-use rofi_sim::FabricPe;
+use rofi_sim::{ChunkAction, FabricPe, FaultPlane};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Buffers per destination (double buffering, per the paper).
 pub const NBUF: usize = 2;
 
+/// Default for how long a transmitted chunk may sit unacknowledged before
+/// the sender retransmits everything outstanding toward that destination.
+/// Generous relative to the microsecond-scale ack path, so spurious
+/// retransmits — which would perturb seeded-counter reproducibility —
+/// essentially never happen. Override per world with
+/// [`crate::config::WorldConfig::retransmit_timeout`] (e.g. a much larger
+/// value makes seeded runs stall-proof under heavy CPU contention).
+pub const RETRANSMIT_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Consecutive retransmit-timeout rounds with zero forward progress (no
+/// new ack collected) before a destination is declared unreachable. Each
+/// healthy round delivers at least the front chunk, so at a 5% injected
+/// drop rate the odds of 20 straight dead rounds are ~1e-26 — exhaustion
+/// means the pair is genuinely severed (e.g. drop probability 1.0).
+pub const MAX_RETRY_ROUNDS: u32 = 20;
+
 /// Bytes of symmetric region consumed by the queue block for a world of
 /// `num_pes` with the given per-buffer size.
 pub fn queue_footprint(num_pes: usize, buffer_size: usize) -> usize {
-    // Two tables of num_pes × NBUF u64s, plus the buffers, plus alignment.
-    2 * num_pes * NBUF * 8 + num_pes * NBUF * buffer_size + 64
+    // Two tables of num_pes × NBUF u64s, one cumulative-ack word per peer,
+    // plus the buffers, plus alignment.
+    2 * num_pes * NBUF * 8 + num_pes * 8 + num_pes * NBUF * buffer_size + 64
 }
 
 /// A free-list of reusable byte buffers shared by the aggregation and
@@ -114,18 +160,70 @@ impl BufferPool {
     }
 }
 
+/// One sealed wire chunk and its reliable-delivery state. On the default
+/// (loss-free) path only `bytes` is meaningful; the rest stays at its
+/// construction value.
+struct SealedChunk {
+    /// Pool-backed chunk bytes (header + framed envelopes in reliable
+    /// mode; framed envelopes only otherwise).
+    bytes: Vec<u8>,
+    /// Per-destination sequence number stamped at seal (0 when unreliable).
+    seq: u64,
+    /// Transmission attempts so far (bumped by go-back-N resends).
+    attempt: u32,
+    /// When this attempt hit the wire; `None` while queued.
+    sent_at: Option<Instant>,
+    /// The injector's cached verdict for this attempt, so parked retries
+    /// don't redraw (decisions are one-per-(chunk, attempt)).
+    fault: Option<ChunkAction>,
+    /// Earliest transmit time for a delay-faulted chunk.
+    not_before: Option<Instant>,
+}
+
+impl SealedChunk {
+    fn new(bytes: Vec<u8>, seq: u64) -> Self {
+        SealedChunk { bytes, seq, attempt: 0, sent_at: None, fault: None, not_before: None }
+    }
+}
+
 /// Outgoing state for one destination: the open aggregation buffer that
-/// frames encode directly into, plus sealed chunks waiting for a free wire
-/// buffer. All buffers are pool-backed.
-#[derive(Default)]
+/// frames encode directly into, sealed chunks waiting for a free wire
+/// buffer, and (in reliable mode) the unacked in-flight window. All
+/// buffers are pool-backed.
 struct OutQueue {
     /// The chunk currently being filled (frames encode in place here).
     agg: Option<Vec<u8>>,
     /// Sealed chunks in FIFO order, each awaiting a wire buffer.
-    sealed: VecDeque<Vec<u8>>,
+    sealed: VecDeque<SealedChunk>,
     /// The front sealed chunk already failed a wire attempt (park/retry
     /// accounting).
     parked: bool,
+    /// Next sequence number to stamp at seal (reliable mode; starts at 1 —
+    /// the ack words in the symmetric block start at 0 = "nothing acked").
+    next_seq: u64,
+    /// Transmitted chunks not yet covered by the destination's cumulative
+    /// ack, in sequence order; their buffers return to the pool on ack.
+    unacked: VecDeque<SealedChunk>,
+    /// Consecutive retransmit-timeout rounds in which no new ack arrived;
+    /// reset by any ack, fatal at [`MAX_RETRY_ROUNDS`].
+    stalled_rounds: u32,
+    /// Retries exhausted: the destination is unreachable for the rest of
+    /// the world's lifetime and sends to it are discarded.
+    dead: bool,
+}
+
+impl Default for OutQueue {
+    fn default() -> Self {
+        OutQueue {
+            agg: None,
+            sealed: VecDeque::new(),
+            parked: false,
+            next_seq: 1,
+            unacked: VecDeque::new(),
+            stalled_rounds: 0,
+            dead: false,
+        }
+    }
 }
 
 /// One PE's endpoint of the world-wide queue fabric.
@@ -149,6 +247,18 @@ pub struct QueueTransport {
     /// ratio is the aggregation factor. `flushes` counts chunks handed to
     /// the wire; parks/retries expose backpressure.
     metrics: Arc<LamellaeMetrics>,
+    /// The fabric's fault injector, when it has one. Its presence switches
+    /// the transport into reliable-delivery mode.
+    fault: Option<Arc<FaultPlane>>,
+    /// Reliable mode: next expected sequence number per source (receiver
+    /// side of go-back-N; starts at 1).
+    recv_next: Vec<AtomicU64>,
+    /// Reliable mode: how long the oldest unacked chunk may wait before a
+    /// go-back-N round fires. Defaults to [`RETRANSMIT_TIMEOUT`].
+    retransmit_timeout: Duration,
+    /// Destinations newly declared dead, awaiting collection by the
+    /// runtime via [`QueueTransport::take_comm_failures`].
+    failed: Mutex<Vec<usize>>,
 }
 
 impl QueueTransport {
@@ -170,8 +280,14 @@ impl QueueTransport {
     ) -> Self {
         assert_eq!(base % 8, 0, "queue base must be 8-aligned");
         assert!(agg_threshold <= buffer_size, "threshold must fit in a buffer");
+        let fault = ep.fabric().fault_plane().cloned();
+        assert!(
+            fault.is_none() || buffer_size > CHUNK_HDR_LEN,
+            "wire buffers must fit the reliable-delivery chunk header"
+        );
         let num_pes = ep.num_pes();
         let out = (0..num_pes).map(|_| Mutex::new(OutQueue::default())).collect();
+        let recv_next = (0..num_pes).map(|_| AtomicU64::new(1)).collect();
         let metrics = Arc::new(LamellaeMetrics::new(metrics));
         QueueTransport {
             ep,
@@ -183,6 +299,38 @@ impl QueueTransport {
             pool: BufferPool::new(Arc::clone(&metrics)),
             progress_lock: Mutex::new(()),
             metrics,
+            fault,
+            recv_next,
+            retransmit_timeout: RETRANSMIT_TIMEOUT,
+            failed: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Override the reliable-delivery retransmit timeout (builder-style,
+    /// apply before first use). A larger value trades recovery latency for
+    /// immunity to spurious timer fires under scheduling stalls — seeded
+    /// determinism tests use this to keep injected-fault counters exactly
+    /// reproducible regardless of machine load. No effect when the
+    /// transport is not in reliable mode.
+    pub fn with_retransmit_timeout(mut self, timeout: Duration) -> Self {
+        assert!(timeout > Duration::ZERO, "retransmit timeout must be positive");
+        self.retransmit_timeout = timeout;
+        self
+    }
+
+    /// True when the transport is running the reliable-delivery layer
+    /// (sequence headers, acks, retransmits) — i.e. the fabric carries a
+    /// [`FaultPlane`].
+    pub fn reliable(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Per-chunk header overhead in the current mode.
+    fn hdr_len(&self) -> usize {
+        if self.reliable() {
+            CHUNK_HDR_LEN
+        } else {
+            0
         }
     }
 
@@ -201,9 +349,10 @@ impl QueueTransport {
         self.metrics.snapshot()
     }
 
-    /// Largest single framed message the wire can carry.
+    /// Largest single framed message the wire can carry (net of the
+    /// reliable-delivery chunk header, when one is in use).
     pub fn max_message(&self) -> usize {
-        self.buffer_size
+        self.buffer_size - self.hdr_len()
     }
 
     fn recv_sig_off(&self, src: usize, idx: usize) -> usize {
@@ -214,12 +363,28 @@ impl QueueTransport {
         self.base + self.num_pes * NBUF * 8 + (dst * NBUF + idx) * 8
     }
 
+    /// The cumulative-ack word for traffic *from* `peer` — lives on the
+    /// receiver's side of the protocol in the *sender's* arena: PE `d`
+    /// acknowledges PE `s`'s chunks by storing into `ack_off(d)` on `s`.
+    fn ack_off(&self, peer: usize) -> usize {
+        self.base + 2 * self.num_pes * NBUF * 8 + peer * 8
+    }
+
     fn send_buf_off(&self, dst: usize, idx: usize) -> usize {
-        self.base + 2 * self.num_pes * NBUF * 8 + (dst * NBUF + idx) * self.buffer_size
+        self.base
+            + 2 * self.num_pes * NBUF * 8
+            + self.num_pes * 8
+            + (dst * NBUF + idx) * self.buffer_size
     }
 
     /// Enqueue one framed message for `dst`; wire chunks are emitted once
     /// the aggregation threshold accumulates (never blocks).
+    ///
+    /// # Panics
+    /// If `framed` exceeds [`QueueTransport::max_message`]. Sends to a
+    /// destination declared dead by the reliable layer are silently
+    /// discarded (the failure already surfaced through
+    /// [`QueueTransport::take_comm_failures`]).
     pub fn send(&self, dst: usize, framed: &[u8]) {
         self.send_with(dst, framed.len(), &mut |buf| buf.extend_from_slice(framed));
     }
@@ -228,65 +393,270 @@ impl QueueTransport {
     /// aggregation buffer and lets `fill` encode the framed message straight
     /// into it — the only copy is the encode itself. `fill` must append
     /// exactly `len` bytes. Never blocks.
+    ///
+    /// # Panics
+    /// If `len` exceeds [`QueueTransport::max_message`] (use
+    /// [`QueueTransport::try_send_with`] for a fallible variant). Sends to
+    /// a dead destination are silently discarded.
     pub fn send_with(&self, dst: usize, len: usize, fill: &mut dyn FnMut(&mut Vec<u8>)) {
-        assert!(
-            len <= self.buffer_size,
-            "message of {len} bytes exceeds wire buffer of {} (large payloads take the heap path)",
-            self.buffer_size
-        );
-        self.metrics.record_send(len as u64);
+        match self.try_send_with(dst, len, fill) {
+            Ok(()) | Err(CommError::PeerUnreachable { .. }) => {}
+            Err(e) => panic!("{e} (large payloads take the heap path)"),
+        }
+    }
+
+    /// Fallible [`QueueTransport::send_with`]. Never blocks.
+    ///
+    /// # Errors
+    /// [`CommError::MessageTooLarge`] when the framed message cannot fit a
+    /// wire chunk; [`CommError::PeerUnreachable`] when the reliable layer
+    /// has exhausted its retries toward `dst` (the message is not queued).
+    pub fn try_send_with(
+        &self,
+        dst: usize,
+        len: usize,
+        fill: &mut dyn FnMut(&mut Vec<u8>),
+    ) -> Result<(), CommError> {
+        let max = self.max_message();
+        if len > max {
+            return Err(CommError::MessageTooLarge { len, max });
+        }
         let mut q = self.out[dst].lock();
+        if q.dead {
+            return Err(CommError::PeerUnreachable { pe: dst });
+        }
+        self.metrics.record_send(len as u64);
         // Seal the open buffer first if this frame would overflow it —
         // frames never straddle chunk boundaries.
         if q.agg.as_ref().is_some_and(|agg| agg.len() + len > self.buffer_size) {
-            let full = q.agg.take().expect("just checked");
-            q.sealed.push_back(full);
+            self.seal(&mut q);
         }
         if q.agg.is_none() {
-            q.agg = Some(self.pool.acquire(self.buffer_size));
+            let mut fresh = self.pool.acquire(self.buffer_size);
+            // Reserve room for the sequence/checksum header, stamped at seal.
+            fresh.resize(self.hdr_len(), 0);
+            q.agg = Some(fresh);
         }
         let agg = q.agg.as_mut().expect("just ensured");
         let before = agg.len();
         fill(agg);
         debug_assert_eq!(agg.len() - before, len, "send_with: fill appended a different length");
         if agg.len() >= self.agg_threshold {
-            let full = q.agg.take().expect("agg is some");
-            q.sealed.push_back(full);
+            self.seal(&mut q);
         }
         self.pump(dst, &mut q);
+        Ok(())
+    }
+
+    /// Seal the open aggregation buffer into the outgoing FIFO, stamping
+    /// the sequence/checksum header in reliable mode.
+    fn seal(&self, q: &mut OutQueue) {
+        let Some(mut bytes) = q.agg.take() else { return };
+        debug_assert!(bytes.len() > self.hdr_len(), "open buffers always hold at least one frame");
+        let seq = if self.reliable() {
+            let seq = q.next_seq;
+            q.next_seq += 1;
+            write_chunk_header(&mut bytes, seq);
+            seq
+        } else {
+            0
+        };
+        q.sealed.push_back(SealedChunk::new(bytes, seq));
     }
 
     /// Push every waiting byte toward the wire (best effort — chunks that
-    /// find no free buffer stay parked for the next call).
+    /// find no free buffer stay parked for the next call; in reliable mode
+    /// this also collects acks and runs the retransmit timer).
     pub fn flush(&self) {
         for dst in 0..self.num_pes {
             let mut q = self.out[dst].lock();
-            if let Some(agg) = q.agg.take() {
-                debug_assert!(!agg.is_empty(), "open buffers always hold at least one frame");
-                q.sealed.push_back(agg);
-            }
+            self.seal(&mut q);
             self.pump(dst, &mut q);
         }
     }
 
+    /// Fallible [`QueueTransport::flush`].
+    ///
+    /// # Errors
+    /// [`CommError::PeerUnreachable`] naming one dead destination when any
+    /// pair has exhausted its delivery retries; live pairs are still
+    /// flushed first.
+    pub fn try_flush(&self) -> Result<(), CommError> {
+        self.flush();
+        match self.dead_pairs().first() {
+            Some(&pe) => Err(CommError::PeerUnreachable { pe }),
+            None => Ok(()),
+        }
+    }
+
+    /// Destinations declared unreachable so far (stable once reported).
+    pub fn dead_pairs(&self) -> Vec<usize> {
+        (0..self.num_pes).filter(|&dst| self.out[dst].lock().dead).collect()
+    }
+
+    /// Drain the destinations newly declared unreachable since the last
+    /// call (each reported exactly once, in death order).
+    pub fn take_comm_failures(&self) -> Vec<usize> {
+        std::mem::take(&mut *self.failed.lock())
+    }
+
     /// True when every frame and chunk for every destination has hit the
-    /// wire (used by tests; the runtime just keeps flushing).
+    /// wire — and, in reliable mode, been acknowledged (dead pairs are
+    /// vacuously done; their traffic is discarded).
     pub fn outgoing_empty(&self) -> bool {
         self.out.iter().all(|q| {
             let q = q.lock();
-            q.agg.is_none() && q.sealed.is_empty()
+            q.dead || (q.agg.is_none() && q.sealed.is_empty() && q.unacked.is_empty())
         })
     }
 
-    /// Emit sealed chunks for one destination in FIFO order, recycling each
-    /// buffer once its bytes are on the wire. Chunks that find no free wire
-    /// buffer stay parked for the next call.
+    /// Pop every unacked chunk now covered by `dst`'s cumulative ack,
+    /// returning its buffer to the pool (reliable mode only).
+    fn collect_acks(&self, dst: usize, q: &mut OutQueue) {
+        if q.unacked.is_empty() {
+            return;
+        }
+        let me = self.ep.pe();
+        let acked = self
+            .ep
+            .atomic_u64(me, self.ack_off(dst))
+            .expect("ack word in bounds")
+            .load(Ordering::Acquire);
+        while q.unacked.front().is_some_and(|c| c.seq <= acked) {
+            let done = q.unacked.pop_front().expect("front exists");
+            self.pool.release(done.bytes);
+            q.stalled_rounds = 0; // forward progress
+        }
+    }
+
+    /// Run the retransmit timer for `dst`. When the oldest unacked chunk
+    /// has waited past the configured retransmit timeout (default
+    /// [`RETRANSMIT_TIMEOUT`]), either resend everything outstanding
+    /// (go-back-N, attempt bumped) or — after [`MAX_RETRY_ROUNDS`]
+    /// consecutive ack-free rounds — declare the pair dead. Returns true
+    /// when the pair died.
+    fn check_retransmit(&self, dst: usize, q: &mut OutQueue) -> bool {
+        let Some(front) = q.unacked.front() else { return false };
+        let waited = front.sent_at.map(|t| t.elapsed()).unwrap_or(Duration::ZERO);
+        if waited < self.retransmit_timeout {
+            return false;
+        }
+        q.stalled_rounds += 1;
+        if q.stalled_rounds >= MAX_RETRY_ROUNDS {
+            self.kill_pair(dst, q);
+            return true;
+        }
+        // Go-back-N: requeue every outstanding chunk, oldest first, for a
+        // fresh attempt (each gets a fresh fault verdict).
+        while let Some(mut chunk) = q.unacked.pop_back() {
+            chunk.attempt += 1;
+            chunk.sent_at = None;
+            chunk.fault = None;
+            chunk.not_before = None;
+            self.metrics.record_retransmit();
+            q.sealed.push_front(chunk);
+        }
+        false
+    }
+
+    /// Retry exhaustion: mark `dst` unreachable, discard its queued and
+    /// in-flight traffic, and queue the failure for
+    /// [`QueueTransport::take_comm_failures`].
+    fn kill_pair(&self, dst: usize, q: &mut OutQueue) {
+        q.dead = true;
+        q.parked = false;
+        self.metrics.record_delivery_failure();
+        for c in q.unacked.drain(..) {
+            self.pool.release(c.bytes);
+        }
+        for c in q.sealed.drain(..) {
+            self.pool.release(c.bytes);
+        }
+        if let Some(agg) = q.agg.take() {
+            self.pool.release(agg);
+        }
+        self.failed.lock().push(dst);
+    }
+
+    /// Emit sealed chunks for one destination in FIFO order. On the
+    /// loss-free path each buffer is recycled the moment its bytes are on
+    /// the wire; in reliable mode it is retained in the unacked window
+    /// until the destination's cumulative ack covers it, and the injector's
+    /// verdict (drop/duplicate/delay/truncate/corrupt) is applied per
+    /// attempt. Chunks that find no free wire buffer stay parked for the
+    /// next call.
     fn pump(&self, dst: usize, q: &mut OutQueue) {
-        while let Some(chunk) = q.sealed.front() {
+        if q.dead {
+            return;
+        }
+        if self.reliable() {
+            self.collect_acks(dst, q);
+            if self.check_retransmit(dst, q) {
+                return;
+            }
+        }
+        let me = self.ep.pe();
+        loop {
+            let Some(front) = q.sealed.front_mut() else { return };
+            // Resolve this attempt's fault verdict exactly once; parked
+            // retries reuse the cached decision. Loopback traffic and the
+            // default path are never faulted.
+            if front.fault.is_none() {
+                front.fault = Some(match &self.fault {
+                    Some(plane) if dst != me => {
+                        plane.chunk_action(me, dst, front.seq, front.attempt, front.bytes.len())
+                    }
+                    _ => ChunkAction::Deliver,
+                });
+            }
+            if let Some(ChunkAction::Delay { ns }) = front.fault {
+                front.not_before = Some(Instant::now() + Duration::from_nanos(ns));
+                // The delay is consumed; after the deadline, transmit.
+                front.fault = Some(ChunkAction::Deliver);
+            }
+            if let Some(ready_at) = front.not_before {
+                if Instant::now() < ready_at {
+                    // FIFO order is part of the sequence contract: later
+                    // chunks wait behind the delayed front.
+                    return;
+                }
+                front.not_before = None;
+            }
             if q.parked {
                 self.metrics.record_retry();
             }
-            if !self.try_push_to_wire(dst, chunk) {
+            let action = front.fault.expect("resolved above");
+            let pushed = match action {
+                // A dropped chunk vanishes without touching the wire; the
+                // retransmit timer is what notices.
+                ChunkAction::Drop => true,
+                ChunkAction::Deliver | ChunkAction::Duplicate => {
+                    let ok = self.try_push_to_wire(dst, &front.bytes);
+                    if ok && action == ChunkAction::Duplicate {
+                        // Best effort: a full wire just turns the duplicate
+                        // back into a single delivery.
+                        self.try_push_to_wire(dst, &front.bytes);
+                    }
+                    ok
+                }
+                ChunkAction::Truncate { new_len } => {
+                    self.try_push_to_wire(dst, &front.bytes[..new_len.min(front.bytes.len())])
+                }
+                ChunkAction::Corrupt { byte, bit } => {
+                    // Damage a scratch copy: the retained original must stay
+                    // pristine for the retransmit path.
+                    let mut scratch = self.pool.acquire(front.bytes.len());
+                    scratch.extend_from_slice(&front.bytes);
+                    if let Some(b) = scratch.get_mut(byte) {
+                        *b ^= 1 << bit;
+                    }
+                    let ok = self.try_push_to_wire(dst, &scratch);
+                    self.pool.release(scratch);
+                    ok
+                }
+                ChunkAction::Delay { .. } => unreachable!("delays were converted to Deliver above"),
+            };
+            if !pushed {
                 if !q.parked {
                     self.metrics.record_park();
                     q.parked = true;
@@ -295,13 +665,25 @@ impl QueueTransport {
             }
             q.parked = false;
             self.metrics.record_flush();
-            let done = q.sealed.pop_front().expect("front exists");
-            self.pool.release(done);
+            let mut done = q.sealed.pop_front().expect("front exists");
+            if self.reliable() {
+                done.sent_at = Some(Instant::now());
+                done.fault = None;
+                q.unacked.push_back(done);
+            } else {
+                self.pool.release(done.bytes);
+            }
         }
     }
 
     /// One attempt to claim a free wire buffer for `dst` and transmit;
     /// false when both buffers are still in flight.
+    ///
+    /// This bypasses aggregation *and* the reliable-delivery layer: no
+    /// sequence header is stamped and no retransmit state is kept, so in a
+    /// fault-plane world the bytes will be discarded by the receiver's
+    /// header validation. Intended for raw-wire benchmarking on loss-free
+    /// fabrics only.
     pub fn try_send_now(&self, dst: usize, bytes: &[u8]) -> bool {
         assert!(bytes.len() <= self.buffer_size, "message exceeds wire buffer");
         self.try_push_to_wire(dst, bytes)
@@ -370,22 +752,62 @@ impl QueueTransport {
                     .atomic_u64(src, self.send_busy_off(me, idx))
                     .expect("busy in bounds")
                     .store(0, Ordering::Release);
-                self.metrics.record_recv(len as u64);
-                sink(src, &data[..len]);
+                if self.reliable() {
+                    // Validate before trusting anything — a bit flip in the
+                    // seq field must read as corruption, not as a bogus
+                    // duplicate/gap.
+                    match read_chunk_header(&data[..len]) {
+                        None => self.metrics.record_corrupt_chunk_dropped(),
+                        Some((seq, payload)) => {
+                            let expected = self.recv_next[src].load(Ordering::Relaxed);
+                            if seq == expected {
+                                self.recv_next[src].store(expected + 1, Ordering::Relaxed);
+                                self.ack(src, seq);
+                                self.metrics.record_recv(len as u64);
+                                sink(src, payload);
+                                any = true;
+                            } else if seq < expected {
+                                // Duplicate (retransmit raced the ack):
+                                // suppress, but re-ack so the sender's
+                                // window advances.
+                                self.metrics.record_dup_chunk_dropped();
+                                self.ack(src, expected - 1);
+                            } else {
+                                // A gap means an earlier chunk was dropped;
+                                // go-back-N will resend everything from the
+                                // gap, so discard and wait (no ack).
+                                self.metrics.record_reordered_chunk_dropped();
+                            }
+                        }
+                    }
+                } else {
+                    self.metrics.record_recv(len as u64);
+                    sink(src, &data[..len]);
+                    any = true;
+                }
                 data.clear();
-                any = true;
             }
         }
         self.pool.release(data);
-        // Freed buffers on our peers may unblock parked chunks of ours.
+        // Freed buffers on our peers may unblock parked chunks of ours, and
+        // the retransmit timer only runs when something pumps the queue.
         for dst in 0..self.num_pes {
             if let Some(mut q) = self.out[dst].try_lock() {
-                if !q.sealed.is_empty() {
+                if !q.sealed.is_empty() || (self.reliable() && !q.unacked.is_empty()) {
                     self.pump(dst, &mut q);
                 }
             }
         }
         any
+    }
+
+    /// Cumulative-ack `src`'s traffic through `seq`: a release store into
+    /// the *sender's* arena (control plane — never faulted).
+    fn ack(&self, src: usize, seq: u64) {
+        self.ep
+            .atomic_u64(src, self.ack_off(self.ep.pe()))
+            .expect("ack word in bounds")
+            .store(seq, Ordering::Release);
     }
 }
 
@@ -404,9 +826,56 @@ mod tests {
             heap_len: 4096,
             net: NetConfig::disabled(),
             metrics: true,
+            fault: None,
         });
         let base = pes[0].fabric().alloc_symmetric(foot, 8).unwrap();
         pes.into_iter().map(|ep| Arc::new(QueueTransport::new(ep, base, buf, thresh))).collect()
+    }
+
+    /// A faulted world: reliable delivery on, injector armed with `cfg`.
+    fn make_faulted_world(
+        n: usize,
+        buf: usize,
+        thresh: usize,
+        cfg: rofi_sim::FaultConfig,
+    ) -> Vec<Arc<QueueTransport>> {
+        let foot = queue_footprint(n, buf);
+        let pes = Fabric::launch(FabricConfig {
+            num_pes: n,
+            sym_len: foot + 4096,
+            heap_len: 4096,
+            net: NetConfig::disabled(),
+            metrics: true,
+            fault: Some(cfg),
+        });
+        let base = pes[0].fabric().alloc_symmetric(foot, 8).unwrap();
+        let plane = pes[0].fabric().fault_plane().cloned().expect("fault plane present");
+        let qs: Vec<_> = pes
+            .into_iter()
+            .map(|ep| Arc::new(QueueTransport::new(ep, base, buf, thresh)))
+            .collect();
+        plane.arm();
+        qs
+    }
+
+    #[test]
+    fn retransmit_timeout_is_configurable() {
+        let cfg = rofi_sim::FaultConfig::seeded(1).drop_prob(0.5);
+        let qs = make_faulted_world(2, 4096, 100, cfg);
+        assert_eq!(qs[0].retransmit_timeout, RETRANSMIT_TIMEOUT, "default applies");
+        let foot = queue_footprint(2, 4096);
+        let pes = Fabric::launch(FabricConfig {
+            num_pes: 2,
+            sym_len: foot + 4096,
+            heap_len: 4096,
+            net: NetConfig::disabled(),
+            metrics: true,
+            fault: Some(rofi_sim::FaultConfig::seeded(1).drop_prob(0.5)),
+        });
+        let base = pes[0].fabric().alloc_symmetric(foot, 8).unwrap();
+        let slow = QueueTransport::new(pes.into_iter().next().unwrap(), base, 4096, 100)
+            .with_retransmit_timeout(Duration::from_millis(250));
+        assert_eq!(slow.retransmit_timeout, Duration::from_millis(250));
     }
 
     #[test]
@@ -588,5 +1057,160 @@ mod tests {
         let t1 = run(b, 1);
         assert_eq!(t0.join().unwrap(), 200);
         assert_eq!(t1.join().unwrap(), 200);
+    }
+
+    /// Drive sender + receiver until `want` payloads arrive at `qs[1]` (or
+    /// a generous iteration budget runs out), returning what arrived.
+    fn drain_reliable(qs: &[Arc<QueueTransport>], want: usize) -> Vec<Vec<u8>> {
+        let mut got = Vec::new();
+        let mut spins = 0u32;
+        while got.len() < want {
+            qs[1].progress(&mut |_, d| got.push(d.to_vec()));
+            qs[0].flush();
+            qs[0].progress(&mut |_, _| {});
+            spins += 1;
+            if spins > 200_000 {
+                panic!("reliable drain stalled at {}/{want} payloads", got.len());
+            }
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn reliable_mode_roundtrips_without_faults() {
+        // Rates all zero: the reliable layer runs (headers, acks) but the
+        // injector never fires — everything arrives first try.
+        let qs = make_faulted_world(2, 4096, 1, rofi_sim::FaultConfig::seeded(1));
+        for i in 0..10u8 {
+            qs[0].send(1, &[i; 32]);
+        }
+        let got = drain_reliable(&qs, 10);
+        for (i, d) in got.iter().enumerate() {
+            assert_eq!(d, &vec![i as u8; 32]);
+        }
+        // Acks eventually drain the unacked window to quiescence.
+        let mut spins = 0;
+        while !qs[0].outgoing_empty() {
+            qs[0].flush();
+            spins += 1;
+            assert!(spins < 200_000, "acks never drained the window");
+        }
+        assert_eq!(qs[0].pool().outstanding(), 0, "all buffers returned after acks");
+        assert_eq!(qs[0].stats().retransmits, 0, "no faults, no retransmits");
+    }
+
+    #[test]
+    fn dropped_chunks_are_retransmitted_and_order_is_preserved() {
+        let cfg = rofi_sim::FaultConfig::seeded(42).drop_prob(0.3);
+        let qs = make_faulted_world(2, 4096, 1, cfg);
+        for i in 0..50u8 {
+            qs[0].send(1, &[i; 16]);
+        }
+        let got = drain_reliable(&qs, 50);
+        // In-order, exactly-once delivery despite the drops.
+        for (i, d) in got.iter().enumerate() {
+            assert_eq!(d, &vec![i as u8; 16], "payload {i} intact and in order");
+        }
+        assert!(qs[0].stats().retransmits > 0, "a 30% drop rate must force retransmits");
+    }
+
+    #[test]
+    fn corruption_is_detected_and_recovered() {
+        let cfg = rofi_sim::FaultConfig::seeded(7).corrupt_prob(0.3).truncate_prob(0.1);
+        let qs = make_faulted_world(2, 4096, 1, cfg);
+        for i in 0..40u8 {
+            qs[0].send(1, &[i ^ 0x5a; 24]);
+        }
+        let got = drain_reliable(&qs, 40);
+        for (i, d) in got.iter().enumerate() {
+            assert_eq!(d, &vec![i as u8 ^ 0x5a; 24], "payload {i} bit-exact");
+        }
+        let s = qs[1].stats();
+        assert!(
+            s.corrupt_chunks_dropped > 0,
+            "30% corruption must trip the checksum at least once: {s:?}"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let cfg = rofi_sim::FaultConfig::seeded(3).dup_prob(0.5);
+        let qs = make_faulted_world(2, 4096, 1, cfg);
+        for i in 0..40u8 {
+            qs[0].send(1, &[i; 8]);
+        }
+        let got = drain_reliable(&qs, 40);
+        assert_eq!(got.len(), 40, "exactly-once: duplicates never reach the sink");
+        for (i, d) in got.iter().enumerate() {
+            assert_eq!(d[0], i as u8);
+        }
+        assert!(qs[1].stats().dup_chunks_dropped > 0, "50% dup rate must suppress at least one");
+    }
+
+    #[test]
+    fn severed_pair_dies_with_typed_failure() {
+        // Probability-1 drops: no chunk ever arrives, retries exhaust, and
+        // the failure surfaces as a dead pair — not a hang or a panic.
+        let cfg = rofi_sim::FaultConfig::seeded(9).drop_prob(1.0);
+        let qs = make_faulted_world(2, 4096, 1, cfg);
+        qs[0].send(1, &[1u8; 16]);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match qs[0].try_flush() {
+                Err(CommError::PeerUnreachable { pe }) => {
+                    assert_eq!(pe, 1);
+                    break;
+                }
+                Ok(()) => assert!(Instant::now() < deadline, "pair never died"),
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(qs[0].take_comm_failures(), vec![1], "death reported exactly once");
+        assert!(qs[0].take_comm_failures().is_empty());
+        assert!(
+            matches!(
+                qs[0].try_send_with(1, 4, &mut |b| b.extend_from_slice(&[0; 4])),
+                Err(CommError::PeerUnreachable { pe: 1 })
+            ),
+            "sends to a dead pair fail fast"
+        );
+        assert_eq!(qs[0].pool().outstanding(), 0, "dead pair's buffers all reclaimed");
+        assert_eq!(qs[0].stats().delivery_failures, 1);
+        assert!(qs[0].outgoing_empty(), "dead pairs are vacuously drained");
+    }
+
+    #[test]
+    fn oversized_message_is_a_typed_error_in_reliable_mode() {
+        let qs = make_faulted_world(2, 128, 64, rofi_sim::FaultConfig::seeded(1));
+        let max = qs[0].max_message();
+        assert_eq!(max, 128 - CHUNK_HDR_LEN, "header steals capacity from the wire buffer");
+        let r = qs[0].try_send_with(1, max + 1, &mut |b| b.extend_from_slice(&[0; 128]));
+        assert_eq!(r, Err(CommError::MessageTooLarge { len: max + 1, max }));
+    }
+
+    #[test]
+    fn same_seed_same_fault_counters() {
+        // Single-threaded lock-step traffic: the injected-fault counters are
+        // a pure function of the seed.
+        let run = |seed: u64| {
+            let cfg = rofi_sim::FaultConfig::seeded(seed).drop_prob(0.2).corrupt_prob(0.1);
+            let qs = make_faulted_world(2, 4096, 1, cfg);
+            for i in 0..30u8 {
+                qs[0].send(1, &[i; 16]);
+            }
+            drain_reliable(&qs, 30);
+            let f = qs[0].ep.fabric().fault_plane().unwrap().stats();
+            (f.drops_injected, f.corruptions_injected)
+        };
+        let a = run(1234);
+        let b = run(1234);
+        let c = run(4321);
+        assert_eq!(a, b, "equal seeds reproduce identical injected-fault counts");
+        assert!(a.0 > 0, "20% drops over ≥30 chunks must fire");
+        assert_ne!(a, c, "different seeds should diverge (probabilistically certain here)");
     }
 }

@@ -15,7 +15,8 @@
 //! both the Shmem and ROFI Lamellaes").
 
 use crate::config::Backend;
-use crate::lamellae::Lamellae;
+use crate::lamellae::fabric_backend::map_alloc_err;
+use crate::lamellae::{CommError, Lamellae};
 use parking_lot::Mutex;
 use rofi_sim::FabricPe;
 use std::collections::VecDeque;
@@ -83,7 +84,7 @@ impl Lamellae for SmpLamellae {
     }
 
     fn alloc_symmetric(&self, size: usize, align: usize) -> usize {
-        self.ep.fabric().alloc_symmetric(size, align).expect("symmetric region exhausted")
+        self.try_alloc_symmetric(size, align).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn free_symmetric(&self, offset: usize) {
@@ -91,11 +92,19 @@ impl Lamellae for SmpLamellae {
     }
 
     fn alloc_heap(&self, size: usize, align: usize) -> usize {
-        self.ep.fabric().alloc_heap(0, size, align).expect("heap exhausted")
+        self.try_alloc_heap(size, align).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn free_heap(&self, pe: usize, offset: usize) {
         self.ep.fabric().free_heap(pe, offset).expect("invalid heap free");
+    }
+
+    fn try_alloc_heap(&self, size: usize, align: usize) -> Result<usize, CommError> {
+        self.ep.fabric().alloc_heap(0, size, align).map_err(map_alloc_err)
+    }
+
+    fn try_alloc_symmetric(&self, size: usize, align: usize) -> Result<usize, CommError> {
+        self.ep.fabric().alloc_symmetric(size, align).map_err(map_alloc_err)
     }
 
     unsafe fn put(&self, pe: usize, offset: usize, src: &[u8]) {
@@ -150,6 +159,7 @@ mod tests {
             heap_len: 1 << 14,
             net: NetConfig::disabled(),
             metrics: true,
+            fault: None,
         });
         SmpLamellae::new(eps.pop().unwrap())
     }
@@ -213,6 +223,7 @@ mod tests {
             heap_len: 1 << 12,
             net: NetConfig::disabled(),
             metrics: true,
+            fault: None,
         });
         let _ = SmpLamellae::new(eps.pop().unwrap());
     }

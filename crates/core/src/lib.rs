@@ -65,7 +65,9 @@ pub use lamellar_codec::{impl_codec, impl_codec_enum, Codec};
 /// `lamellar::active_messaging::prelude` from the paper's Listing 1.
 pub mod active_messaging {
     pub mod prelude {
-        pub use crate::am::{AmContext, AmHandle, LamellarAm, MultiAmHandle};
+        pub use crate::am::{
+            AmContext, AmError, AmHandle, FallibleAmHandle, LamellarAm, MultiAmHandle,
+        };
         pub use crate::world::{launch, launch_with_config, LamellarWorld, LamellarWorldBuilder};
         pub use crate::{am, impl_codec, impl_codec_enum};
         pub use lamellar_codec::Codec;
@@ -77,6 +79,8 @@ pub mod prelude {
     pub use crate::active_messaging::prelude::*;
     pub use crate::config::{Backend, WorldConfig};
     pub use crate::darc::Darc;
+    pub use crate::lamellae::CommError;
     pub use crate::memregion::{Dist, OneSidedMemoryRegion, SharedMemoryRegion};
     pub use crate::team::LamellarTeam;
+    pub use rofi_sim::{FaultConfig, FaultRates};
 }

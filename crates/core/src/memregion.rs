@@ -15,6 +15,7 @@
 //! objects (Darcs)": they can be sent in AMs, and their RDMA memory is
 //! released only when the last handle anywhere (or in flight) drops.
 
+use crate::lamellae::CommError;
 use crate::runtime::{current_rt, RuntimeInner};
 use crate::team::LamellarTeam;
 use crate::world::WorldShared;
@@ -98,7 +99,13 @@ impl<T: Dist> SharedMemoryRegion<T> {
         let root_rt = Arc::clone(&rt);
         let team_pes = team.pes().to_vec();
         let state = team.exchange_object(0, move || {
-            let offset = root_rt.lamellae().alloc_symmetric(bytes, align);
+            // Collective construction cannot propagate a Result (every
+            // member is already committed to the exchange), so exhaustion
+            // panics — but through the typed error, not a bare expect.
+            let offset = root_rt
+                .lamellae()
+                .try_alloc_symmetric(bytes, align)
+                .unwrap_or_else(|e| panic!("shared region allocation: {e}"));
             let id = shared.new_trackable_id();
             SharedRegionState {
                 id,
@@ -303,11 +310,22 @@ pub struct OneSidedMemoryRegion<T: Dist> {
 impl<T: Dist> OneSidedMemoryRegion<T> {
     /// Allocate `len` elements on the calling PE's dynamic heap ("the
     /// runtime can often allocate the memory directly from its internal
-    /// RDMA memory heap").
+    /// RDMA memory heap"). Panics with the typed allocation error on heap
+    /// exhaustion; use [`OneSidedMemoryRegion::try_new`] to handle it.
     pub(crate) fn new(rt: Arc<RuntimeInner>, len: usize) -> Self {
+        Self::try_new(rt, len).unwrap_or_else(|e| panic!("one-sided region allocation: {e}"))
+    }
+
+    /// Fallible [`OneSidedMemoryRegion::new`]: surfaces heap exhaustion
+    /// (genuine, or injected by an armed fault plane) instead of panicking.
+    ///
+    /// # Errors
+    /// [`CommError::AllocFailed`] when the PE's one-sided heap cannot fit
+    /// `len` elements.
+    pub(crate) fn try_new(rt: Arc<RuntimeInner>, len: usize) -> Result<Self, CommError> {
         let bytes = (len * std::mem::size_of::<T>()).max(1);
         let align = std::mem::align_of::<T>().max(8);
-        let offset = rt.lamellae().alloc_heap(bytes, align);
+        let offset = rt.lamellae().try_alloc_heap(bytes, align)?;
         let shared = rt.shared();
         let id = shared.new_trackable_id();
         let state = Arc::new(OneSidedState {
@@ -318,7 +336,7 @@ impl<T: Dist> OneSidedMemoryRegion<T> {
             rt: Arc::clone(&rt),
         });
         shared.register_trackable(id, Arc::downgrade(&state) as Weak<dyn Any + Send + Sync>);
-        OneSidedMemoryRegion { state, rt, len, _marker: PhantomData }
+        Ok(OneSidedMemoryRegion { state, rt, len, _marker: PhantomData })
     }
 
     /// Elements in the region.

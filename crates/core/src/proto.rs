@@ -293,6 +293,55 @@ pub fn try_deframe_views(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Reliable-delivery chunk header (see DESIGN.md §4b).
+// ---------------------------------------------------------------------------
+
+/// Bytes of chunk header the reliable-delivery layer prepends to every wire
+/// chunk: sequence number (u64 LE) + FNV-1a checksum (u64 LE) over the
+/// sequence number and the payload.
+pub const CHUNK_HDR_LEN: usize = 16;
+
+/// FNV-1a over the sequence number's LE bytes followed by the payload.
+/// Covering the sequence number means a bit flip anywhere in the chunk —
+/// header or payload — fails validation, so corruption is never misread as
+/// a duplicate or a reordering.
+fn chunk_checksum(seq: u64, payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in seq.to_le_bytes().iter().chain(payload) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Stamp sequence number `seq` and the matching checksum into the first
+/// [`CHUNK_HDR_LEN`] bytes of `chunk` (which the sender reserved when it
+/// opened the aggregation buffer). Everything after the header is payload.
+///
+/// # Panics
+/// If `chunk` is shorter than the header.
+pub fn write_chunk_header(chunk: &mut [u8], seq: u64) {
+    assert!(chunk.len() >= CHUNK_HDR_LEN, "chunk too short for a header");
+    let sum = chunk_checksum(seq, &chunk[CHUNK_HDR_LEN..]);
+    chunk[..8].copy_from_slice(&seq.to_le_bytes());
+    chunk[8..16].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Validate a received chunk's header; `Some((seq, payload))` when intact,
+/// `None` when the chunk is too short for a header or its checksum does not
+/// match (truncated or corrupted in flight — the receiver must discard it
+/// without delivery and let the sender's retransmit timer recover).
+pub fn read_chunk_header(chunk: &[u8]) -> Option<(u64, &[u8])> {
+    if chunk.len() < CHUNK_HDR_LEN {
+        return None;
+    }
+    let seq = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
+    let sum = u64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes"));
+    let payload = &chunk[CHUNK_HDR_LEN..];
+    (chunk_checksum(seq, payload) == sum).then_some((seq, payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,5 +482,55 @@ mod tests {
     fn empty_buffer_deframes_to_nothing() {
         assert_eq!(deframe(&[]).count(), 0);
         assert_eq!(try_deframe_views(&[]).count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod chunk_header_tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_seq_and_payload() {
+        let mut chunk = vec![0u8; CHUNK_HDR_LEN];
+        chunk.extend_from_slice(b"framed envelope bytes");
+        write_chunk_header(&mut chunk, 42);
+        let (seq, payload) = read_chunk_header(&chunk).expect("intact chunk validates");
+        assert_eq!(seq, 42);
+        assert_eq!(payload, b"framed envelope bytes");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let mut chunk = vec![0u8; CHUNK_HDR_LEN];
+        write_chunk_header(&mut chunk, 7);
+        assert_eq!(read_chunk_header(&chunk), Some((7, &[][..])));
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let mut chunk = vec![0u8; CHUNK_HDR_LEN];
+        chunk.extend_from_slice(&[0xa5; 24]);
+        write_chunk_header(&mut chunk, 3);
+        for byte in 0..chunk.len() {
+            for bit in 0..8 {
+                let mut damaged = chunk.clone();
+                damaged[byte] ^= 1 << bit;
+                assert_eq!(
+                    read_chunk_header(&damaged),
+                    None,
+                    "flip of bit {bit} in byte {byte} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut chunk = vec![0u8; CHUNK_HDR_LEN];
+        chunk.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        write_chunk_header(&mut chunk, 9);
+        for new_len in 0..chunk.len() {
+            assert_eq!(read_chunk_header(&chunk[..new_len]), None, "truncation to {new_len}");
+        }
     }
 }

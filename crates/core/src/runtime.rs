@@ -17,8 +17,8 @@
 //! also pump progress, so a PE blocked in a collective keeps executing AMs
 //! sent to it.
 
-use crate::am::{am_id, lookup_am, register_am, AmHandle, LamellarAm, MultiAmHandle};
-use crate::lamellae::Lamellae;
+use crate::am::{am_id, lookup_am, register_am, AmError, AmHandle, LamellarAm, MultiAmHandle};
+use crate::lamellae::{CommError, Lamellae};
 use crate::proto::{self, frame, Envelope, EnvelopeView};
 use crate::world::WorldShared;
 use lamellar_codec::Codec;
@@ -32,11 +32,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Completion callback for one pending request: decodes the reply payload
-/// (or carries the destination's panic message) and resolves the typed
-/// handle. The payload is a slice borrowed from the transport's receive
-/// buffer — the callback deserializes in place, the only copy on the reply
-/// path being the typed decode itself.
-type PendingReply = Box<dyn for<'a> FnOnce(Result<&'a [u8], String>) + Send>;
+/// (or carries the failure — remote panic or comm breakdown) and resolves
+/// the typed handle. The payload is a slice borrowed from the transport's
+/// receive buffer — the callback deserializes in place, the only copy on
+/// the reply path being the typed decode itself.
+type PendingReply = Box<dyn for<'a> FnOnce(Result<&'a [u8], AmError>) + Send>;
+
+/// One in-flight remote request: its destination (so comm failures toward
+/// that PE can fail it) and the completion callback.
+struct Pending {
+    dst: usize,
+    reply: PendingReply,
+}
 
 /// Adapter that converts a panicking future into `Err(panic message)`, so
 /// a crashed AM produces an error reply instead of stranding its caller.
@@ -76,7 +83,7 @@ pub struct RuntimeInner {
     lamellae: Arc<dyn Lamellae>,
     pool: ThreadPool,
     shared: Arc<WorldShared>,
-    pending: Mutex<HashMap<u64, PendingReply>>,
+    pending: Mutex<HashMap<u64, Pending>>,
     next_req: AtomicU64,
     /// AMs this PE has launched that have not yet completed (drives
     /// `wait_all`, which "blocks the calling PE until all of the AMs it
@@ -180,6 +187,7 @@ impl RuntimeInner {
             lamellae: self.lamellae.lamellae_stats(),
             executor: self.pool.stats(),
             am: self.am_metrics.snapshot(),
+            fault: self.lamellae.fault_stats(),
         }
     }
 
@@ -188,7 +196,7 @@ impl RuntimeInner {
         assert!(dst < self.num_pes, "PE {dst} out of range (world has {})", self.num_pes);
         register_am::<T>();
         self.my_pending.fetch_add(1, Ordering::AcqRel);
-        let (tx, rx) = oneshot::<Result<T::Output, String>>();
+        let (tx, rx) = oneshot::<Result<T::Output, AmError>>();
         if dst == self.pe {
             // Local fast path: no serialization (as in the paper — local AMs
             // are placed directly into the thread pool).
@@ -196,7 +204,7 @@ impl RuntimeInner {
             let ctx = AmContext { rt: Arc::clone(self), src_pe: self.pe };
             let rt = Arc::clone(self);
             drop(self.pool.spawn(async move {
-                let out = CatchPanic(am.exec(ctx)).await;
+                let out = CatchPanic(am.exec(ctx)).await.map_err(AmError::RemotePanic);
                 tx.send(out);
                 rt.my_pending.fetch_sub(1, Ordering::AcqRel);
             }));
@@ -205,6 +213,7 @@ impl RuntimeInner {
             let rt = Arc::clone(self);
             self.pending.insert_reply(
                 req_id,
+                dst,
                 Box::new(move |result| {
                     let out = result.map(|bytes| {
                         with_rt_context(&rt, || {
@@ -224,7 +233,15 @@ impl RuntimeInner {
                 // RDMA-gets it and sends FreeHeap back.
                 let payload = with_rt_context(self, || am.to_bytes());
                 debug_assert_eq!(payload.len(), payload_len, "encoded_len disagrees with encode");
-                let off = self.lamellae.alloc_heap(payload.len(), 8);
+                let off = match self.lamellae.try_alloc_heap(payload.len(), 8) {
+                    Ok(off) => off,
+                    Err(e) => {
+                        // Exhausted (or injected-failure) heap: the request
+                        // never leaves this PE. Fail the future, don't hang.
+                        self.fail_pending(req_id, AmError::Comm(e));
+                        return AmHandle { rx };
+                    }
+                };
                 // SAFETY: freshly allocated, private until the receiver is
                 // told about it, freed only on FreeHeap.
                 unsafe { self.lamellae.put(self.pe, off, &payload) };
@@ -235,25 +252,63 @@ impl RuntimeInner {
                     off as u64,
                     payload.len() as u64,
                 );
-                self.lamellae.send_with(dst, proto::framed_len(&env), &mut |buf| frame(&env, buf));
+                if let Err(e) =
+                    self.lamellae
+                        .try_send_with(dst, proto::framed_len(&env), &mut |buf| frame(&env, buf))
+                {
+                    self.lamellae.free_heap(self.pe, off);
+                    self.fail_pending(req_id, AmError::Comm(e));
+                }
             } else {
                 // Zero-copy send: the AM encodes straight into the
                 // aggregation buffer, no intermediate payload or frame Vec.
                 let mut am = Some(am);
-                self.lamellae.send_with(dst, proto::framed_request_len(payload_len), &mut |buf| {
-                    let am = am.take().expect("send_with fill called once");
-                    proto::frame_request_with(
-                        buf,
-                        am_id::<T>(),
-                        req_id,
-                        self.pe as u64,
-                        payload_len,
-                        |b| with_rt_context(self, || am.encode(b)),
-                    );
-                });
+                let sent = self.lamellae.try_send_with(
+                    dst,
+                    proto::framed_request_len(payload_len),
+                    &mut |buf| {
+                        let am = am.take().expect("send_with fill called once");
+                        proto::frame_request_with(
+                            buf,
+                            am_id::<T>(),
+                            req_id,
+                            self.pe as u64,
+                            payload_len,
+                            |b| with_rt_context(self, || am.encode(b)),
+                        );
+                    },
+                );
+                if let Err(e) = sent {
+                    self.fail_pending(req_id, AmError::Comm(e));
+                }
             }
         }
         AmHandle { rx }
+    }
+
+    /// Resolve a pending request to `Err` (delivery failed before or after
+    /// the wire). No-op if a reply beat the failure to it.
+    fn fail_pending(&self, req_id: u64, err: AmError) {
+        if let Some(p) = self.pending.lock().remove(&req_id) {
+            (p.reply)(Err(err));
+        }
+    }
+
+    /// Fail every pending request addressed to a PE in `dead` — called when
+    /// the reliable-delivery layer reports exhausted retries. The futures
+    /// resolve to [`CommError::PeerUnreachable`] instead of hanging.
+    fn fail_pes(&self, dead: &[usize]) {
+        let victims: Vec<Pending> = {
+            let mut pending = self.pending.lock();
+            let ids: Vec<u64> =
+                pending.iter().filter(|(_, p)| dead.contains(&p.dst)).map(|(&id, _)| id).collect();
+            ids.iter().map(|id| pending.remove(id).expect("just listed")).collect()
+        };
+        // Callbacks run outside the lock: they complete oneshots and may
+        // wake arbitrary user code.
+        for p in victims {
+            (p.reply)(Err(AmError::Comm(CommError::PeerUnreachable { pe: p.dst })));
+        }
     }
 
     /// Launch `am` on every PE in the world (including this one).
@@ -317,12 +372,20 @@ impl RuntimeInner {
     /// any message was handled.
     pub(crate) fn tick(self: &Arc<Self>) -> bool {
         let rt = Arc::clone(self);
-        self.lamellae.progress(&mut |src, chunk| {
+        let any = self.lamellae.progress(&mut |src, chunk| {
             for body in proto::deframe_raw(chunk) {
                 let view = EnvelopeView::parse(body).expect("envelope decode");
                 rt.handle(src, view);
             }
-        })
+        });
+        // Surface reliable-delivery breakdowns: every future addressed to a
+        // newly dead PE resolves to Err right here, on the progress path.
+        let dead = self.lamellae.take_comm_failures();
+        if !dead.is_empty() {
+            self.fail_pes(&dead);
+            return true;
+        }
+        any
     }
 
     /// Dispatch one incoming envelope. The view borrows from the receive
@@ -346,19 +409,18 @@ impl RuntimeInner {
                 self.dispatch_request(am_id, req_id, src_pe, &payload);
             }
             EnvelopeView::Reply { req_id, payload } => {
+                // An absent entry is legal under faults: the request was
+                // already failed as PeerUnreachable (one direction died) and
+                // the reply limped home anyway. Drop it — the future has
+                // resolved.
+                let Some(p) = self.pending.lock().remove(&req_id) else { return };
                 self.am_metrics.record_reply_received();
-                let cb = self
-                    .pending
-                    .lock()
-                    .remove(&req_id)
-                    .expect("reply for unknown request (duplicate or corrupt req_id)");
-                cb(Ok(payload));
+                (p.reply)(Ok(payload));
             }
             EnvelopeView::ReplyErr { req_id, msg } => {
+                let Some(p) = self.pending.lock().remove(&req_id) else { return };
                 self.am_metrics.record_reply_received();
-                let cb =
-                    self.pending.lock().remove(&req_id).expect("error reply for unknown request");
-                cb(Err(msg.to_string()));
+                (p.reply)(Err(AmError::RemotePanic(msg.to_string())));
             }
             EnvelopeView::FreeHeap { offset } => {
                 self.lamellae.free_heap(self.pe, offset as usize);
@@ -426,12 +488,12 @@ impl RuntimeInner {
 
 /// Small extension so `exec_am_pe` can insert while documenting intent.
 trait PendingMap {
-    fn insert_reply(&self, req_id: u64, cb: PendingReply);
+    fn insert_reply(&self, req_id: u64, dst: usize, cb: PendingReply);
 }
 
-impl PendingMap for Mutex<HashMap<u64, PendingReply>> {
-    fn insert_reply(&self, req_id: u64, cb: PendingReply) {
-        let prev = self.lock().insert(req_id, cb);
+impl PendingMap for Mutex<HashMap<u64, Pending>> {
+    fn insert_reply(&self, req_id: u64, dst: usize, cb: PendingReply) {
+        let prev = self.lock().insert(req_id, Pending { dst, reply: cb });
         debug_assert!(prev.is_none(), "req_id collision");
     }
 }

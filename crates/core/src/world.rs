@@ -331,12 +331,28 @@ impl LamellarWorld {
     }
 
     /// Allocate a [`crate::memregion::OneSidedMemoryRegion`] of `len`
-    /// elements on this PE only.
+    /// elements on this PE only. Panics with the typed allocation error on
+    /// heap exhaustion; see
+    /// [`try_alloc_one_sided_mem_region`](LamellarWorld::try_alloc_one_sided_mem_region).
     pub fn alloc_one_sided_mem_region<T: crate::memregion::Dist>(
         &self,
         len: usize,
     ) -> crate::memregion::OneSidedMemoryRegion<T> {
         crate::memregion::OneSidedMemoryRegion::new(Arc::clone(&self.rt), len)
+    }
+
+    /// Fallible [`alloc_one_sided_mem_region`](LamellarWorld::alloc_one_sided_mem_region):
+    /// lets the caller handle heap exhaustion — genuine, or injected by an
+    /// armed fault plane (`WorldConfig::faults` with `alloc_fail_prob`).
+    ///
+    /// # Errors
+    /// [`CommError::AllocFailed`](crate::lamellae::CommError::AllocFailed)
+    /// when this PE's one-sided heap cannot fit `len` elements.
+    pub fn try_alloc_one_sided_mem_region<T: crate::memregion::Dist>(
+        &self,
+        len: usize,
+    ) -> Result<crate::memregion::OneSidedMemoryRegion<T>, crate::lamellae::CommError> {
+        crate::memregion::OneSidedMemoryRegion::try_new(Arc::clone(&self.rt), len)
     }
 
     /// Typed snapshot of the runtime's observability counters, one section
@@ -452,27 +468,33 @@ pub(crate) fn build_worlds(cfg: WorldConfig) -> Vec<LamellarWorld> {
         heap_len: cfg.heap_len,
         net,
         metrics: cfg.metrics,
+        fault: cfg.fault.clone(),
     });
     // Reserve the queue block first: symmetric offset 64-aligned, identical
-    // on every PE by construction.
+    // on every PE by construction. The fault plane (if any) is still
+    // disarmed here — bootstrap allocations are never failed artificially.
     let queue_base = endpoints[0]
         .fabric()
         .alloc_symmetric(queue_footprint(cfg.num_pes, cfg.buffer_size), 64)
         .expect("symmetric region too small for message queues");
+    let fault_plane = endpoints[0].fabric().fault_plane().cloned();
     let shared = WorldShared::new();
-    endpoints
+    let worlds: Vec<LamellarWorld> = endpoints
         .into_iter()
         .map(|ep| {
             let lamellae: Arc<dyn Lamellae> = match cfg.backend {
                 Backend::Smp => Arc::new(SmpLamellae::new(ep)),
-                b => Arc::new(FabricLamellae::with_metrics(
-                    ep,
-                    b,
-                    queue_base,
-                    cfg.buffer_size,
-                    cfg.agg_threshold,
-                    cfg.metrics,
-                )),
+                b => Arc::new(
+                    FabricLamellae::with_metrics(
+                        ep,
+                        b,
+                        queue_base,
+                        cfg.buffer_size,
+                        cfg.agg_threshold,
+                        cfg.metrics,
+                    )
+                    .with_retransmit_timeout(cfg.retransmit_timeout),
+                ),
             };
             let pe = lamellae.my_pe();
             let pool = ThreadPool::new(PoolConfig {
@@ -499,7 +521,13 @@ pub(crate) fn build_worlds(cfg: WorldConfig) -> Vec<LamellarWorld> {
                 Arc::new(WorldGuard { rt: Arc::clone(&rt), progress: Mutex::new(Some(progress)) });
             LamellarWorld { rt, guard: Some(guard) }
         })
-        .collect()
+        .collect();
+    // Bootstrap is done — only now may the injector start failing
+    // allocations and faulting wire chunks.
+    if let Some(plane) = fault_plane {
+        plane.arm();
+    }
+    worlds
 }
 
 /// Construct all PE worlds without spawning PE main threads — for

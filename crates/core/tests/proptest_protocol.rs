@@ -136,6 +136,7 @@ proptest! {
             heap_len: 4096,
             net: NetConfig::disabled(),
             metrics: true,
+            fault: None,
         });
         let base = endpoints[0].fabric().alloc_symmetric(queue_footprint(n, buf_size), 64).unwrap();
         let qs: Vec<Arc<QueueTransport>> = endpoints

@@ -63,6 +63,10 @@ impl FreeList {
 
     /// Allocate `size` bytes aligned to `align` (a power of two).
     /// Returns the aligned offset.
+    ///
+    /// # Errors
+    /// [`FabricError::OutOfMemory`] when no free block can fit the
+    /// (padded) request.
     pub fn alloc(&mut self, size: usize, align: usize) -> Result<usize> {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         let size = size.max(1);
@@ -93,6 +97,10 @@ impl FreeList {
     }
 
     /// Free the allocation previously returned at `offset`.
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidFree`] when `offset` is not a live allocation
+    /// (double free, or an address this allocator never returned).
     pub fn free(&mut self, offset: usize) -> Result<()> {
         let (block_off, block_size) =
             self.live.remove(&offset).ok_or(FabricError::InvalidFree { offset })?;

@@ -120,6 +120,10 @@ impl Arena {
     ///
     /// Safe: atomics tolerate concurrent access from every PE. This is the
     /// primitive behind the Lamellae's flag-based transfer signalling.
+    ///
+    /// # Errors
+    /// [`FabricError::OutOfBounds`] when `offset + 8` exceeds the arena;
+    /// [`FabricError::Misaligned`] when `offset` is not 8-byte aligned.
     pub fn atomic_u64(&self, offset: usize) -> Result<&AtomicU64> {
         self.check(offset, 8)?;
         if !offset.is_multiple_of(8) {
@@ -130,6 +134,10 @@ impl Arena {
     }
 
     /// View the 8 bytes at `offset` as an `AtomicUsize` (64-bit platforms).
+    ///
+    /// # Errors
+    /// [`FabricError::OutOfBounds`] / [`FabricError::Misaligned`] as for
+    /// [`Arena::atomic_u64`], against the platform word size.
     pub fn atomic_usize(&self, offset: usize) -> Result<&AtomicUsize> {
         self.check(offset, std::mem::size_of::<usize>())?;
         if !offset.is_multiple_of(std::mem::align_of::<usize>()) {
@@ -141,6 +149,9 @@ impl Arena {
 
     /// View the byte at `offset` as an `AtomicU8` (used by the
     /// GenericAtomicArray's 1-byte element locks).
+    ///
+    /// # Errors
+    /// [`FabricError::OutOfBounds`] when `offset` is past the arena's end.
     pub fn atomic_u8(&self, offset: usize) -> Result<&AtomicU8> {
         self.check(offset, 1)?;
         // SAFETY: bounds checked; AtomicU8 allows aliasing, no alignment

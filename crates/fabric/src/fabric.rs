@@ -20,6 +20,7 @@
 use crate::alloc::FreeList;
 use crate::arena::Arena;
 use crate::barrier::SenseBarrier;
+use crate::fault::{FaultConfig, FaultPlane};
 use crate::netmodel::{NetConfig, NetModel};
 use crate::{FabricError, Result};
 use lamellar_metrics::{FabricMetrics, FabricStats};
@@ -43,6 +44,9 @@ pub struct FabricConfig {
     /// handful of relaxed atomics per transfer; disable for overhead-critical
     /// runs.
     pub metrics: bool,
+    /// Deterministic fault injection ([`FaultPlane`]); `None` (the default)
+    /// leaves the fabric loss-free and the transport on its fast path.
+    pub fault: Option<FaultConfig>,
 }
 
 impl FabricConfig {
@@ -55,6 +59,7 @@ impl FabricConfig {
             heap_len: 32 << 20,
             net: NetConfig::from_env(),
             metrics: true,
+            fault: None,
         }
     }
 
@@ -81,6 +86,12 @@ impl FabricConfig {
         self.metrics = enabled;
         self
     }
+
+    /// Arm deterministic fault injection with the given knobs.
+    pub fn fault(mut self, cfg: FaultConfig) -> Self {
+        self.fault = Some(cfg);
+        self
+    }
 }
 
 /// The interconnect shared by all simulated PEs.
@@ -102,6 +113,8 @@ pub struct Fabric {
     /// Fabric-layer observability: puts/gets/bytes, inject vs. rendezvous
     /// splits, barrier rounds, put-size histogram. Shared by all PE handles.
     metrics: FabricMetrics,
+    /// Deterministic fault injection; `None` keeps the fabric loss-free.
+    fault: Option<Arc<FaultPlane>>,
 }
 
 impl Fabric {
@@ -114,6 +127,7 @@ impl Fabric {
         let heap_allocs = (0..cfg.num_pes)
             .map(|_| Mutex::new(FreeList::new(cfg.sym_len, cfg.heap_len)))
             .collect();
+        let fault = cfg.fault.map(|f| Arc::new(FaultPlane::new(f, cfg.num_pes)));
         let fabric = Arc::new(Fabric {
             arenas,
             barrier: SenseBarrier::new(cfg.num_pes),
@@ -125,6 +139,7 @@ impl Fabric {
             oob_cv: Condvar::new(),
             progress_delay_ns: AtomicU64::new(0),
             metrics: FabricMetrics::new(cfg.metrics),
+            fault,
         });
         (0..cfg.num_pes).map(|pe| FabricPe { fabric: Arc::clone(&fabric), pe }).collect()
     }
@@ -153,6 +168,9 @@ impl Fabric {
     }
 
     /// Direct access to a PE's arena (runtime-internal).
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidPe`] for an out-of-range `pe`.
     pub fn arena(&self, pe: usize) -> Result<&Arena> {
         self.check_pe(pe)?;
         Ok(&self.arenas[pe])
@@ -164,23 +182,56 @@ impl Fabric {
     /// Callers must coordinate collectively (exactly one logical allocation
     /// per collective call) — the runtime does root-allocates + an OOB
     /// broadcast, exactly like ROFI's `rofi_alloc`.
+    ///
+    /// # Errors
+    /// [`FabricError::OutOfMemory`] when the region cannot satisfy the
+    /// request — or when an armed [`FaultPlane`] fails it artificially.
     pub fn alloc_symmetric(&self, size: usize, align: usize) -> Result<usize> {
+        if let Some(fault) = &self.fault {
+            if fault.fail_symmetric_alloc() {
+                return Err(FabricError::OutOfMemory {
+                    requested: size,
+                    available: self.sym_available(),
+                });
+            }
+        }
         self.sym_alloc.lock().alloc(size, align)
     }
 
     /// Free a symmetric allocation. Must be called exactly once per
     /// allocation (the runtime's Darc destruction protocol guarantees this).
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidFree`] when `offset` is not a live symmetric
+    /// allocation.
     pub fn free_symmetric(&self, offset: usize) -> Result<()> {
         self.sym_alloc.lock().free(offset)
     }
 
     /// Allocate from `pe`'s one-sided dynamic heap.
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidPe`] for an out-of-range `pe`;
+    /// [`FabricError::OutOfMemory`] when the heap cannot satisfy the
+    /// request — or when an armed [`FaultPlane`] fails it artificially.
     pub fn alloc_heap(&self, pe: usize, size: usize, align: usize) -> Result<usize> {
         self.check_pe(pe)?;
+        if let Some(fault) = &self.fault {
+            if fault.fail_heap_alloc(pe) {
+                return Err(FabricError::OutOfMemory {
+                    requested: size,
+                    available: self.heap_allocs[pe].lock().available(),
+                });
+            }
+        }
         self.heap_allocs[pe].lock().alloc(size, align)
     }
 
     /// Free a one-sided heap allocation on `pe`.
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidPe`] for an out-of-range `pe`;
+    /// [`FabricError::InvalidFree`] when `offset` is not live on that heap.
     pub fn free_heap(&self, pe: usize, offset: usize) -> Result<()> {
         self.check_pe(pe)?;
         self.heap_allocs[pe].lock().free(offset)
@@ -192,12 +243,18 @@ impl Fabric {
     }
 
     /// Bytes free in `pe`'s heap.
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidPe`] for an out-of-range `pe`.
     pub fn heap_available(&self, pe: usize) -> Result<usize> {
         self.check_pe(pe)?;
         Ok(self.heap_allocs[pe].lock().available())
     }
 
     /// Bytes currently allocated in `pe`'s heap (staging-leak detection).
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidPe`] for an out-of-range `pe`.
     pub fn heap_in_use(&self, pe: usize) -> Result<usize> {
         self.check_pe(pe)?;
         Ok(self.heap_allocs[pe].lock().in_use())
@@ -237,6 +294,11 @@ impl Fabric {
         if ns > 0 {
             std::thread::sleep(std::time::Duration::from_nanos(ns));
         }
+    }
+
+    /// The fault-injection plane, if this fabric was built with one.
+    pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
+        self.fault.as_ref()
     }
 
     /// The live fabric-layer metrics registry.
@@ -287,6 +349,10 @@ impl FabricPe {
     /// # Safety
     /// The caller must guarantee no PE concurrently reads or writes the
     /// destination range (the RDMA contract — see [`Arena::write`]).
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidPe`] for an out-of-range `dst_pe`;
+    /// [`FabricError::OutOfBounds`] when the range exceeds the arena.
     pub unsafe fn put(&self, dst_pe: usize, offset: usize, src: &[u8]) -> Result<()> {
         let arena = self.fabric.arena(dst_pe)?;
         if dst_pe != self.pe {
@@ -301,6 +367,10 @@ impl FabricPe {
     ///
     /// # Safety
     /// The caller must guarantee no PE concurrently writes the source range.
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidPe`] for an out-of-range `src_pe`;
+    /// [`FabricError::OutOfBounds`] when the range exceeds the arena.
     pub unsafe fn get(&self, src_pe: usize, offset: usize, dst: &mut [u8]) -> Result<()> {
         let arena = self.fabric.arena(src_pe)?;
         if src_pe != self.pe {
@@ -312,16 +382,26 @@ impl FabricPe {
     }
 
     /// Atomic view of 8 bytes in any PE's arena (safe: atomics synchronize).
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidPe`], [`FabricError::OutOfBounds`], or
+    /// [`FabricError::Misaligned`] — see [`Arena::atomic_u64`].
     pub fn atomic_u64(&self, pe: usize, offset: usize) -> Result<&AtomicU64> {
         self.fabric.arena(pe)?.atomic_u64(offset)
     }
 
     /// Atomic view of a word in any PE's arena.
+    ///
+    /// # Errors
+    /// As for [`FabricPe::atomic_u64`].
     pub fn atomic_usize(&self, pe: usize, offset: usize) -> Result<&AtomicUsize> {
         self.fabric.arena(pe)?.atomic_usize(offset)
     }
 
     /// Atomic view of one byte in any PE's arena.
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidPe`] or [`FabricError::OutOfBounds`].
     pub fn atomic_u8(&self, pe: usize, offset: usize) -> Result<&AtomicU8> {
         self.fabric.arena(pe)?.atomic_u8(offset)
     }
@@ -356,6 +436,7 @@ mod tests {
             heap_len: 1 << 16,
             net: NetConfig::disabled(),
             metrics: true,
+            fault: None,
         })
     }
 
@@ -474,6 +555,7 @@ mod tests {
             heap_len: 1 << 16,
             net: NetConfig::disabled(),
             metrics: false,
+            fault: None,
         });
         unsafe { pes[0].put(1, 0, &[1, 2, 3]).unwrap() };
         pes[0].fabric().set_progress_delay_ns(0);
@@ -492,6 +574,26 @@ mod tests {
         t.join().unwrap();
         // Both PEs entered one barrier episode: two recorded rounds.
         assert_eq!(pes[0].fabric().stats().barrier_rounds - before, 2);
+    }
+
+    #[test]
+    fn armed_fault_plane_fails_allocations() {
+        use crate::fault::FaultConfig;
+        let pes = Fabric::launch(
+            FabricConfig::new(1)
+                .sym_len(1 << 16)
+                .heap_len(1 << 16)
+                .net(NetConfig::disabled())
+                .fault(FaultConfig::seeded(13).alloc_fail_prob(1.0)),
+        );
+        let f = pes[0].fabric();
+        // Disarmed during bootstrap: allocations succeed.
+        let off = f.alloc_heap(0, 64, 8).unwrap();
+        f.free_heap(0, off).unwrap();
+        f.fault_plane().unwrap().arm();
+        assert!(matches!(f.alloc_heap(0, 64, 8), Err(FabricError::OutOfMemory { .. })));
+        assert!(matches!(f.alloc_symmetric(64, 8), Err(FabricError::OutOfMemory { .. })));
+        assert_eq!(f.fault_plane().unwrap().stats().alloc_failures_injected, 2);
     }
 
     #[test]

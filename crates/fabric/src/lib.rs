@@ -28,31 +28,60 @@
 //! Everything above this crate (the Lamellae, AMs, arrays) sees only bytes
 //! moving between PEs — the same contract the real hardware provides.
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod arena;
 pub mod barrier;
 pub mod fabric;
+pub mod fault;
 pub mod netmodel;
 pub mod rofi;
 
 pub use arena::Arena;
 pub use barrier::SenseBarrier;
 pub use fabric::{Fabric, FabricPe};
+pub use fault::{ChunkAction, FaultConfig, FaultPlane, FaultRates};
 pub use netmodel::{NetConfig, NetModel};
 
 /// Errors surfaced by fabric operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FabricError {
     /// An offset/length pair fell outside the target arena.
-    OutOfBounds { offset: usize, len: usize, arena_len: usize },
+    OutOfBounds {
+        /// Start offset of the attempted access.
+        offset: usize,
+        /// Length of the attempted access.
+        len: usize,
+        /// Total size of the arena the access targeted.
+        arena_len: usize,
+    },
     /// The arena could not satisfy an allocation request.
-    OutOfMemory { requested: usize, available: usize },
+    OutOfMemory {
+        /// Bytes the caller asked for.
+        requested: usize,
+        /// Bytes still free in the region (possibly fragmented).
+        available: usize,
+    },
     /// A PE id outside `0..num_pes`.
-    InvalidPe { pe: usize, num_pes: usize },
+    InvalidPe {
+        /// The offending PE id.
+        pe: usize,
+        /// World size the id was checked against.
+        num_pes: usize,
+    },
     /// `free` was called with an offset that is not a live allocation.
-    InvalidFree { offset: usize },
+    InvalidFree {
+        /// The offset passed to `free`.
+        offset: usize,
+    },
     /// An atomic accessor was given a misaligned offset.
-    Misaligned { offset: usize, align: usize },
+    Misaligned {
+        /// The offending offset.
+        offset: usize,
+        /// Alignment the accessor requires.
+        align: usize,
+    },
 }
 
 impl std::fmt::Display for FabricError {

@@ -43,11 +43,20 @@ impl Rofi {
     /// The real call is collective; here the shared symmetric allocator
     /// keeps layouts identical, so a single call suffices and callers
     /// barrier afterwards just as the C API requires.
+    ///
+    /// # Errors
+    /// [`FabricError::OutOfMemory`](crate::FabricError::OutOfMemory) when
+    /// the symmetric region is exhausted (or an armed fault plane injects
+    /// the failure).
     pub fn alloc(&self, size: usize) -> Result<usize> {
         self.pe.fabric().alloc_symmetric(size, 64)
     }
 
     /// `rofi_release`: free a symmetric region.
+    ///
+    /// # Errors
+    /// [`FabricError::InvalidFree`](crate::FabricError::InvalidFree) when
+    /// `offset` is not a live symmetric allocation.
     pub fn release(&self, offset: usize) -> Result<()> {
         self.pe.fabric().free_symmetric(offset)
     }
@@ -57,6 +66,9 @@ impl Rofi {
     /// # Safety
     /// As in rofi-sys: the caller must ensure the remote range is not
     /// concurrently accessed and remains allocated for the duration.
+    ///
+    /// # Errors
+    /// Invalid PE or out-of-bounds range — see [`FabricPe::put`].
     pub unsafe fn put(&self, pe: usize, offset: usize, src: &[u8]) -> Result<()> {
         // SAFETY: contract forwarded to the caller.
         unsafe { self.pe.put(pe, offset, src) }
@@ -67,6 +79,9 @@ impl Rofi {
     /// # Safety
     /// As in rofi-sys: the caller must ensure the remote range is not
     /// concurrently written and remains allocated for the duration.
+    ///
+    /// # Errors
+    /// Invalid PE or out-of-bounds range — see [`FabricPe::get`].
     pub unsafe fn get(&self, pe: usize, offset: usize, dst: &mut [u8]) -> Result<()> {
         // SAFETY: contract forwarded to the caller.
         unsafe { self.pe.get(pe, offset, dst) }
@@ -104,6 +119,7 @@ mod tests {
             heap_len: 1 << 12,
             net: NetConfig::disabled(),
             metrics: true,
+            fault: None,
         });
         let mut pes = pes.into_iter();
         let r0 = Rofi::init(pes.next().unwrap());

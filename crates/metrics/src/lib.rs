@@ -263,6 +263,11 @@ pub struct LamellaeMetrics {
     pool_hits: Counter,
     pool_misses: Counter,
     pool_hwm: MaxGauge,
+    retransmits: Counter,
+    dup_chunks_dropped: Counter,
+    reordered_chunks_dropped: Counter,
+    corrupt_chunks_dropped: Counter,
+    delivery_failures: Counter,
 }
 
 impl LamellaeMetrics {
@@ -279,6 +284,11 @@ impl LamellaeMetrics {
             pool_hits: Counter::new(),
             pool_misses: Counter::new(),
             pool_hwm: MaxGauge::new(),
+            retransmits: Counter::new(),
+            dup_chunks_dropped: Counter::new(),
+            reordered_chunks_dropped: Counter::new(),
+            corrupt_chunks_dropped: Counter::new(),
+            delivery_failures: Counter::new(),
         }
     }
 
@@ -350,6 +360,51 @@ impl LamellaeMetrics {
         }
     }
 
+    /// An unacknowledged wire chunk timed out and was sent again by the
+    /// reliable-delivery layer.
+    #[inline]
+    pub fn record_retransmit(&self) {
+        if self.enabled {
+            self.retransmits.inc();
+        }
+    }
+
+    /// An incoming chunk carried an already-delivered sequence number and
+    /// was suppressed (duplicate delivery or spurious retransmit).
+    #[inline]
+    pub fn record_dup_chunk_dropped(&self) {
+        if self.enabled {
+            self.dup_chunks_dropped.inc();
+        }
+    }
+
+    /// An incoming chunk arrived ahead of a gap (a predecessor was lost)
+    /// and was discarded pending the go-back-N retransmit.
+    #[inline]
+    pub fn record_reordered_chunk_dropped(&self) {
+        if self.enabled {
+            self.reordered_chunks_dropped.inc();
+        }
+    }
+
+    /// An incoming chunk failed header or checksum validation (corruption
+    /// or truncation on the wire) and was discarded without delivery.
+    #[inline]
+    pub fn record_corrupt_chunk_dropped(&self) {
+        if self.enabled {
+            self.corrupt_chunks_dropped.inc();
+        }
+    }
+
+    /// Retries toward a destination were exhausted; the pair was declared
+    /// unreachable and its queued traffic discarded.
+    #[inline]
+    pub fn record_delivery_failure(&self) {
+        if self.enabled {
+            self.delivery_failures.inc();
+        }
+    }
+
     pub fn snapshot(&self) -> LamellaeStats {
         LamellaeStats {
             msgs_sent: self.msgs_sent.get(),
@@ -362,6 +417,80 @@ impl LamellaeMetrics {
             pool_hits: self.pool_hits.get(),
             pool_misses: self.pool_misses.get(),
             pool_hwm: self.pool_hwm.get(),
+            retransmits: self.retransmits.get(),
+            dup_chunks_dropped: self.dup_chunks_dropped.get(),
+            reordered_chunks_dropped: self.reordered_chunks_dropped.get(),
+            corrupt_chunks_dropped: self.corrupt_chunks_dropped.get(),
+            delivery_failures: self.delivery_failures.get(),
+        }
+    }
+}
+
+/// Fault-injection metrics; one instance per fault plane (fabric-global).
+///
+/// These count what the injector *did* to the traffic, while the matching
+/// [`LamellaeMetrics`] counters count how the reliable-delivery layer
+/// *recovered* — e.g. `drops_injected` on this side vs. `retransmits` on
+/// the transport side.
+#[derive(Debug, Default)]
+pub struct FaultMetrics {
+    drops: Counter,
+    dups: Counter,
+    delays: Counter,
+    truncations: Counter,
+    corruptions: Counter,
+    alloc_failures: Counter,
+}
+
+impl FaultMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A chunk transmission was suppressed entirely.
+    #[inline]
+    pub fn record_drop(&self) {
+        self.drops.inc();
+    }
+
+    /// A chunk was delivered twice.
+    #[inline]
+    pub fn record_dup(&self) {
+        self.dups.inc();
+    }
+
+    /// A chunk was held back before delivery.
+    #[inline]
+    pub fn record_delay(&self) {
+        self.delays.inc();
+    }
+
+    /// A chunk was delivered with bytes cut off the end.
+    #[inline]
+    pub fn record_truncation(&self) {
+        self.truncations.inc();
+    }
+
+    /// A chunk was delivered with a bit flipped.
+    #[inline]
+    pub fn record_corruption(&self) {
+        self.corruptions.inc();
+    }
+
+    /// A heap or symmetric allocation was failed artificially.
+    #[inline]
+    pub fn record_alloc_failure(&self) {
+        self.alloc_failures.inc();
+    }
+
+    pub fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            drops_injected: self.drops.get(),
+            dups_injected: self.dups.get(),
+            delays_injected: self.delays.get(),
+            truncations_injected: self.truncations.get(),
+            corruptions_injected: self.corruptions.get(),
+            alloc_failures_injected: self.alloc_failures.get(),
         }
     }
 }
@@ -590,6 +719,17 @@ pub struct LamellaeStats {
     /// High-water mark of simultaneously checked-out pool buffers (gauge:
     /// [`delta`](Self::delta) carries the later value through unchanged).
     pub pool_hwm: u64,
+    /// Unacked chunks re-sent after a retransmit timeout.
+    pub retransmits: u64,
+    /// Received chunks suppressed as already-delivered duplicates.
+    pub dup_chunks_dropped: u64,
+    /// Received chunks discarded because a predecessor was missing
+    /// (go-back-N gap; the sender will retransmit from the gap).
+    pub reordered_chunks_dropped: u64,
+    /// Received chunks discarded on header/checksum validation failure.
+    pub corrupt_chunks_dropped: u64,
+    /// Destinations declared unreachable after retry exhaustion.
+    pub delivery_failures: u64,
 }
 
 impl LamellaeStats {
@@ -605,6 +745,15 @@ impl LamellaeStats {
             pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
             pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
             pool_hwm: self.pool_hwm,
+            retransmits: self.retransmits.saturating_sub(earlier.retransmits),
+            dup_chunks_dropped: self.dup_chunks_dropped.saturating_sub(earlier.dup_chunks_dropped),
+            reordered_chunks_dropped: self
+                .reordered_chunks_dropped
+                .saturating_sub(earlier.reordered_chunks_dropped),
+            corrupt_chunks_dropped: self
+                .corrupt_chunks_dropped
+                .saturating_sub(earlier.corrupt_chunks_dropped),
+            delivery_failures: self.delivery_failures.saturating_sub(earlier.delivery_failures),
         }
     }
 
@@ -613,6 +762,52 @@ impl LamellaeStats {
     pub fn pool_hit_rate(&self) -> Option<f64> {
         let total = self.pool_hits + self.pool_misses;
         (total > 0).then(|| self.pool_hits as f64 / total as f64)
+    }
+}
+
+/// Snapshot of [`FaultMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Chunk transmissions suppressed entirely by the injector.
+    pub drops_injected: u64,
+    /// Chunks delivered twice by the injector.
+    pub dups_injected: u64,
+    /// Chunks held back before delivery by the injector.
+    pub delays_injected: u64,
+    /// Chunks delivered with bytes cut off the end.
+    pub truncations_injected: u64,
+    /// Chunks delivered with a bit flipped.
+    pub corruptions_injected: u64,
+    /// Heap/symmetric allocations failed artificially.
+    pub alloc_failures_injected: u64,
+}
+
+impl FaultStats {
+    pub fn delta(&self, earlier: &Self) -> Self {
+        FaultStats {
+            drops_injected: self.drops_injected.saturating_sub(earlier.drops_injected),
+            dups_injected: self.dups_injected.saturating_sub(earlier.dups_injected),
+            delays_injected: self.delays_injected.saturating_sub(earlier.delays_injected),
+            truncations_injected: self
+                .truncations_injected
+                .saturating_sub(earlier.truncations_injected),
+            corruptions_injected: self
+                .corruptions_injected
+                .saturating_sub(earlier.corruptions_injected),
+            alloc_failures_injected: self
+                .alloc_failures_injected
+                .saturating_sub(earlier.alloc_failures_injected),
+        }
+    }
+
+    /// Total faults injected across every category.
+    pub fn total(&self) -> u64 {
+        self.drops_injected
+            + self.dups_injected
+            + self.delays_injected
+            + self.truncations_injected
+            + self.corruptions_injected
+            + self.alloc_failures_injected
     }
 }
 
@@ -684,6 +879,8 @@ pub struct RuntimeStats {
     pub lamellae: LamellaeStats,
     pub executor: ExecutorStats,
     pub am: AmStats,
+    /// Fault-injection activity; all-zero when the FaultPlane is disabled.
+    pub fault: FaultStats,
 }
 
 impl RuntimeStats {
@@ -695,6 +892,7 @@ impl RuntimeStats {
             lamellae: self.lamellae.delta(&earlier.lamellae),
             executor: self.executor.delta(&earlier.executor),
             am: self.am.delta(&earlier.am),
+            fault: self.fault.delta(&earlier.fault),
         }
     }
 }
@@ -724,6 +922,11 @@ impl fmt::Display for RuntimeStats {
         row("lamellae", "pool_hits", self.lamellae.pool_hits.to_string())?;
         row("lamellae", "pool_misses", self.lamellae.pool_misses.to_string())?;
         row("lamellae", "pool_hwm", self.lamellae.pool_hwm.to_string())?;
+        row("lamellae", "retransmits", self.lamellae.retransmits.to_string())?;
+        row("lamellae", "dup_chunks_dropped", self.lamellae.dup_chunks_dropped.to_string())?;
+        row("lamellae", "reordered_drops", self.lamellae.reordered_chunks_dropped.to_string())?;
+        row("lamellae", "corrupt_drops", self.lamellae.corrupt_chunks_dropped.to_string())?;
+        row("lamellae", "delivery_failures", self.lamellae.delivery_failures.to_string())?;
         row("executor", "spawned", self.executor.spawned.to_string())?;
         row("executor", "completed", self.executor.completed.to_string())?;
         row("executor", "stolen", self.executor.stolen.to_string())?;
@@ -742,7 +945,13 @@ impl fmt::Display for RuntimeStats {
         row("am", "replies_received", self.am.replies_received.to_string())?;
         row("am", "batch_sub_batches", self.am.batch_sub_batches.to_string())?;
         row("am", "darcs_created", self.am.darcs_created.to_string())?;
-        row("am", "darcs_dropped", self.am.darcs_dropped.to_string())
+        row("am", "darcs_dropped", self.am.darcs_dropped.to_string())?;
+        row("fault", "drops_injected", self.fault.drops_injected.to_string())?;
+        row("fault", "dups_injected", self.fault.dups_injected.to_string())?;
+        row("fault", "delays_injected", self.fault.delays_injected.to_string())?;
+        row("fault", "truncations_injected", self.fault.truncations_injected.to_string())?;
+        row("fault", "corruptions_injected", self.fault.corruptions_injected.to_string())?;
+        row("fault", "alloc_failures", self.fault.alloc_failures_injected.to_string())
     }
 }
 
@@ -814,13 +1023,17 @@ mod tests {
         let executor = ExecutorMetrics::new(true, 1);
         let am = AmMetrics::new(true);
 
+        let fault = FaultMetrics::new();
+
         fabric.record_put(8, true);
         lamellae.record_send(100);
+        fault.record_drop();
         let before = RuntimeStats {
             fabric: fabric.snapshot(),
             lamellae: lamellae.snapshot(),
             executor: executor.snapshot(),
             am: am.snapshot(),
+            fault: fault.snapshot(),
         };
 
         fabric.record_put(1 << 12, false);
@@ -834,12 +1047,17 @@ mod tests {
         am.record_sent();
         am.record_sub_batches(3);
         am.record_darc_created();
+        fault.record_drop();
+        fault.record_corruption();
+        lamellae.record_retransmit();
+        lamellae.record_corrupt_chunk_dropped();
 
         let after = RuntimeStats {
             fabric: fabric.snapshot(),
             lamellae: lamellae.snapshot(),
             executor: executor.snapshot(),
             am: am.snapshot(),
+            fault: fault.snapshot(),
         };
         let d = after.delta(&before);
         assert_eq!(d.fabric.puts, 1);
@@ -858,10 +1076,16 @@ mod tests {
         assert_eq!(d.am.sent, 1);
         assert_eq!(d.am.batch_sub_batches, 3);
         assert_eq!(d.am.darcs_created, 1);
+        assert_eq!(d.fault.drops_injected, 1);
+        assert_eq!(d.fault.corruptions_injected, 1);
+        assert_eq!(d.fault.total(), 2);
+        assert_eq!(d.lamellae.retransmits, 1);
+        assert_eq!(d.lamellae.corrupt_chunks_dropped, 1);
         // delta of equal snapshots is all-zero (except gauges).
         let same = after.delta(&after);
         assert_eq!(same.fabric, FabricStats::default());
         assert_eq!(same.am, AmStats::default());
+        assert_eq!(same.fault, FaultStats::default());
     }
 
     #[test]
@@ -886,7 +1110,7 @@ mod tests {
     #[test]
     fn display_renders_every_layer() {
         let table = RuntimeStats::default().to_string();
-        for layer in ["fabric", "lamellae", "executor", "am"] {
+        for layer in ["fabric", "lamellae", "executor", "am", "fault"] {
             assert!(table.contains(layer), "missing layer {layer} in:\n{table}");
         }
         assert!(table.contains("inject_puts"));
@@ -895,6 +1119,8 @@ mod tests {
         assert!(table.contains("pool_hwm"));
         assert!(table.contains("queue_depth_hwm"));
         assert!(table.contains("batch_sub_batches"));
+        assert!(table.contains("retransmits"));
+        assert!(table.contains("drops_injected"));
     }
 
     #[test]

@@ -258,6 +258,7 @@ where
         heap_len: 1 << 20,
         net: NetConfig::from_env(),
         metrics: true,
+        fault: None,
     });
     let world = Arc::new(ShmemWorld { sym_calls: Mutex::new(HashMap::new()) });
     let f = Arc::new(f);

@@ -41,6 +41,40 @@ pub trait Rng {
     }
 }
 
+/// Minimal mirror of `rand::SeedableRng` for explicitly-seeded generators.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed. Equal seeds produce equal
+    /// streams — the reproducibility contract fault injection relies on.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Owned, explicitly-seeded SplitMix64 generator, mirroring
+/// `rand::rngs::SmallRng`: small state, fast, deterministic per seed, and
+/// emphatically not cryptographic.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // The golden-gamma increment in `next_u64` keeps even a zero seed
+        // out of any fixed point, so the seed maps to state unchanged —
+        // distinct seeds MUST yield distinct streams.
+        SmallRng { state: seed }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut z = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        self.state = z;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
 /// Per-thread RNG handle, mirroring `rand::rngs::ThreadRng`.
 #[derive(Clone, Debug)]
 pub struct ThreadRng;
@@ -81,11 +115,11 @@ pub fn thread_rng() -> ThreadRng {
 }
 
 pub mod rngs {
-    pub use super::ThreadRng;
+    pub use super::{SmallRng, ThreadRng};
 }
 
 pub mod prelude {
-    pub use super::{thread_rng, Rng, ThreadRng};
+    pub use super::{thread_rng, Rng, SeedableRng, SmallRng, ThreadRng};
 }
 
 #[cfg(test)]
@@ -116,5 +150,26 @@ mod tests {
         let mut rng = thread_rng();
         let first = rng.next_u64();
         assert!((0..64).any(|_| rng.next_u64() != first));
+    }
+
+    #[test]
+    fn small_rng_is_reproducible_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb, "equal seeds must produce equal streams");
+        assert_ne!(sa, sc, "different seeds must diverge");
+    }
+
+    #[test]
+    fn small_rng_gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 hit count {hits}");
+        assert!(SmallRng::seed_from_u64(1).gen_bool(1.0));
+        assert!(!SmallRng::seed_from_u64(1).gen_bool(0.0));
     }
 }

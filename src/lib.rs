@@ -21,6 +21,7 @@ pub mod prelude {
     pub use lamellar_array::prelude::*;
     pub use lamellar_core::prelude::*;
     pub use lamellar_metrics::{
-        AmStats, ExecutorStats, FabricStats, HistogramSnapshot, LamellaeStats, RuntimeStats,
+        AmStats, ExecutorStats, FabricStats, FaultStats, HistogramSnapshot, LamellaeStats,
+        RuntimeStats,
     };
 }
