@@ -66,7 +66,109 @@ pub struct WorldConfig {
     /// retransmit, which bumps attempt numbers and thus re-rolls fault
     /// verdicts).
     pub retransmit_timeout: Duration,
+    /// Default per-attempt response deadline applied to every *remote* AM
+    /// launched through `exec_am_pe` (per-call
+    /// [`AmOpts`](crate::am::AmOpts) overrides it). `None` (the default)
+    /// means requests wait indefinitely for their reply. Local AMs are
+    /// never timed out: a deadline guards against lost replies and silent
+    /// peers, not slow local code.
+    pub am_deadline: Option<Duration>,
+    /// Liveness watchdog (off by default): a per-PE thread that flags
+    /// zero-progress intervals while this PE is blocked in
+    /// `wait_all`/`barrier`, dumps a one-shot diagnostic (in-flight AM
+    /// count, per-pair unacked sequence windows, executor queue depths),
+    /// and — in [`WatchdogConfig::fail`] mode — resolves the stalled
+    /// in-flight AMs to `Err(AmError::Stalled)` so the wait terminates.
+    pub watchdog: Option<WatchdogConfig>,
 }
+
+/// Configuration of the per-PE liveness watchdog (DESIGN.md §4c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Zero-progress window: the watchdog declares a stall once this PE has
+    /// been blocked in `wait_all`/`barrier` for `interval` with in-flight
+    /// work and no runtime progress (no message handled, no task retired).
+    pub interval: Duration,
+    /// `true`: on a stall verdict, fail every pending remote AM with
+    /// `AmError::Stalled` so the wait terminates (observable through
+    /// fallible handles and `try_wait_all`). `false`: dump diagnostics and
+    /// keep waiting (warn-only).
+    pub fail: bool,
+}
+
+impl WatchdogConfig {
+    /// Warn-only watchdog: dump diagnostics on stall, never fail the wait.
+    pub fn warn(interval: Duration) -> Self {
+        WatchdogConfig { interval, fail: false }
+    }
+
+    /// Failing watchdog: dump diagnostics, then resolve stalled in-flight
+    /// AMs to `Err(AmError::Stalled)` so waits terminate.
+    pub fn fail(interval: Duration) -> Self {
+        WatchdogConfig { interval, fail: true }
+    }
+}
+
+/// A [`WorldConfig`] rejected at build time (see [`WorldConfig::validate`]).
+///
+/// Duration knobs get typed validation instead of silent misbehavior: a
+/// zero retransmit timeout would spin the go-back-N timer, a zero deadline
+/// would fail every AM before its first reply could arrive, and an absurdly
+/// large value means the mechanism effectively never fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A duration knob was set to zero.
+    ZeroDuration {
+        /// The offending `WorldConfig` field.
+        field: &'static str,
+    },
+    /// A duration knob was short enough to busy-spin the mechanism it
+    /// paces.
+    TooShort {
+        /// The offending `WorldConfig` field.
+        field: &'static str,
+        /// The rejected value.
+        value: Duration,
+        /// The smallest accepted value.
+        min: Duration,
+    },
+    /// A duration knob was so large the mechanism would effectively never
+    /// fire.
+    TooLong {
+        /// The offending `WorldConfig` field.
+        field: &'static str,
+        /// The rejected value.
+        value: Duration,
+        /// The largest accepted value.
+        max: Duration,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroDuration { field } => {
+                write!(f, "WorldConfig::{field} must be positive (zero would never fire)")
+            }
+            ConfigError::TooShort { field, value, min } => {
+                write!(
+                    f,
+                    "WorldConfig::{field} of {value:?} is below the {min:?} minimum \
+                     (it would busy-spin)"
+                )
+            }
+            ConfigError::TooLong { field, value, max } => {
+                write!(
+                    f,
+                    "WorldConfig::{field} of {value:?} exceeds the {max:?} maximum \
+                     (it would effectively never fire)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The paper's default aggregation threshold (100 KiB).
 pub const DEFAULT_AGG_THRESHOLD: usize = 100 * 1024;
@@ -94,13 +196,79 @@ impl WorldConfig {
             metrics,
             fault: None,
             retransmit_timeout: crate::lamellae::queue::RETRANSMIT_TIMEOUT,
+            am_deadline: None,
+            watchdog: None,
         }
+    }
+
+    /// Check every duration knob against its sane range, returning a typed
+    /// [`ConfigError`] instead of silently building a world whose timers
+    /// spin or never fire. Called by [`WorldConfig::resolve`]; use
+    /// [`WorldConfig::try_resolve`] to handle rejection gracefully.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        const RETRANSMIT_MAX: Duration = Duration::from_secs(60);
+        const DEADLINE_MAX: Duration = Duration::from_secs(3600);
+        const WATCHDOG_MIN: Duration = Duration::from_millis(1);
+        const WATCHDOG_MAX: Duration = Duration::from_secs(600);
+
+        if self.retransmit_timeout.is_zero() {
+            return Err(ConfigError::ZeroDuration { field: "retransmit_timeout" });
+        }
+        if self.retransmit_timeout > RETRANSMIT_MAX {
+            return Err(ConfigError::TooLong {
+                field: "retransmit_timeout",
+                value: self.retransmit_timeout,
+                max: RETRANSMIT_MAX,
+            });
+        }
+        if let Some(d) = self.am_deadline {
+            if d.is_zero() {
+                return Err(ConfigError::ZeroDuration { field: "am_deadline" });
+            }
+            if d > DEADLINE_MAX {
+                return Err(ConfigError::TooLong {
+                    field: "am_deadline",
+                    value: d,
+                    max: DEADLINE_MAX,
+                });
+            }
+        }
+        if let Some(w) = self.watchdog {
+            if w.interval.is_zero() {
+                return Err(ConfigError::ZeroDuration { field: "watchdog.interval" });
+            }
+            if w.interval < WATCHDOG_MIN {
+                return Err(ConfigError::TooShort {
+                    field: "watchdog.interval",
+                    value: w.interval,
+                    min: WATCHDOG_MIN,
+                });
+            }
+            if w.interval > WATCHDOG_MAX {
+                return Err(ConfigError::TooLong {
+                    field: "watchdog.interval",
+                    value: w.interval,
+                    max: WATCHDOG_MAX,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`WorldConfig::resolve`] that reports invalid duration knobs as a
+    /// typed [`ConfigError`] instead of panicking.
+    pub fn try_resolve(self) -> Result<Self, ConfigError> {
+        self.validate()?;
+        Ok(self.resolve())
     }
 
     /// Fill in derived defaults (symmetric size depends on PE count and
     /// buffer size: the internal queue footprint "scales in size with the
     /// number of PEs", Sec. III-A).
     pub fn resolve(mut self) -> Self {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
         assert!(self.num_pes > 0, "world needs at least one PE");
         if self.backend == Backend::Smp {
             assert_eq!(self.num_pes, 1, "the SMP lamellae supports exactly one PE");
@@ -167,6 +335,19 @@ impl WorldConfig {
         self.retransmit_timeout = t;
         self
     }
+
+    /// Set the world-default per-attempt AM response deadline (see the
+    /// field doc; per-call [`AmOpts`](crate::am::AmOpts) overrides it).
+    pub fn am_deadline(mut self, d: Duration) -> Self {
+        self.am_deadline = Some(d);
+        self
+    }
+
+    /// Enable the liveness watchdog (DESIGN.md §4c).
+    pub fn watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -190,5 +371,72 @@ mod tests {
     #[should_panic(expected = "exactly one PE")]
     fn smp_with_multiple_pes_rejected() {
         let _ = WorldConfig::new(2).backend(Backend::Smp).resolve();
+    }
+
+    #[test]
+    fn zero_retransmit_timeout_rejected() {
+        let err = WorldConfig::new(2).retransmit_timeout(Duration::ZERO).try_resolve().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroDuration { field: "retransmit_timeout" });
+    }
+
+    #[test]
+    fn absurd_retransmit_timeout_rejected() {
+        let err = WorldConfig::new(2)
+            .retransmit_timeout(Duration::from_secs(3600))
+            .try_resolve()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::TooLong { field: "retransmit_timeout", .. }));
+    }
+
+    #[test]
+    fn zero_am_deadline_rejected() {
+        let err = WorldConfig::new(2).am_deadline(Duration::ZERO).try_resolve().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroDuration { field: "am_deadline" });
+        assert!(err.to_string().contains("am_deadline"));
+    }
+
+    #[test]
+    fn absurd_am_deadline_rejected() {
+        let err =
+            WorldConfig::new(2).am_deadline(Duration::from_secs(7200)).try_resolve().unwrap_err();
+        assert!(matches!(err, ConfigError::TooLong { field: "am_deadline", .. }));
+    }
+
+    #[test]
+    fn watchdog_interval_bounds_enforced() {
+        let err = WorldConfig::new(2)
+            .watchdog(WatchdogConfig::warn(Duration::from_micros(10)))
+            .try_resolve()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::TooShort { field: "watchdog.interval", .. }));
+
+        let err = WorldConfig::new(2)
+            .watchdog(WatchdogConfig::fail(Duration::from_secs(1000)))
+            .try_resolve()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::TooLong { field: "watchdog.interval", .. }));
+
+        let err = WorldConfig::new(2)
+            .watchdog(WatchdogConfig::warn(Duration::ZERO))
+            .try_resolve()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroDuration { field: "watchdog.interval" });
+    }
+
+    #[test]
+    #[should_panic(expected = "am_deadline")]
+    fn resolve_panics_on_invalid_deadline() {
+        let _ = WorldConfig::new(2).am_deadline(Duration::ZERO).resolve();
+    }
+
+    #[test]
+    fn valid_resilience_config_passes() {
+        let cfg = WorldConfig::new(2)
+            .am_deadline(Duration::from_millis(250))
+            .watchdog(WatchdogConfig::fail(Duration::from_millis(100)))
+            .try_resolve()
+            .unwrap();
+        assert_eq!(cfg.am_deadline, Some(Duration::from_millis(250)));
+        assert!(cfg.watchdog.unwrap().fail);
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::config::Backend;
 use crate::lamellae::queue::QueueTransport;
-use crate::lamellae::{CommError, Lamellae};
+use crate::lamellae::{CommError, Lamellae, PairLiveness};
 use lamellar_metrics::{FabricStats, FaultStats, LamellaeStats};
 use rofi_sim::{FabricError, FabricPe};
 
@@ -191,6 +191,10 @@ impl Lamellae for FabricLamellae {
 
     fn fault_stats(&self) -> FaultStats {
         self.ep.fabric().fault_plane().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    fn pair_liveness(&self) -> Vec<PairLiveness> {
+        self.queues.pair_liveness()
     }
 }
 

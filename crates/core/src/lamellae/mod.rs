@@ -81,6 +81,47 @@ impl std::fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+/// Reliable-delivery window state for one destination PE — the per-pair
+/// diagnostic the liveness watchdog dumps when a wait stalls. All fields
+/// are a point-in-time sample; on the loss-free fast path (no fault plane)
+/// the sequence fields stay at their construction values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairLiveness {
+    /// Destination PE this entry describes.
+    pub dst: usize,
+    /// Chunks sealed (or aggregating) but not yet on the wire.
+    pub queued: usize,
+    /// Chunks transmitted but not covered by the destination's cumulative
+    /// ack (the go-back-N in-flight window).
+    pub unacked: usize,
+    /// Sequence number of the oldest unacked chunk, if any — the chunk a
+    /// stalled pair is stuck on.
+    pub oldest_unacked_seq: Option<u64>,
+    /// Next sequence number this PE will stamp toward `dst`.
+    pub next_seq: u64,
+    /// Consecutive ack-free retransmit rounds (fatal at the transport's
+    /// retry-round limit).
+    pub stalled_rounds: u32,
+    /// The pair has been declared dead (retries exhausted).
+    pub dead: bool,
+}
+
+impl std::fmt::Display for PairLiveness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dst={} queued={} unacked={} oldest_seq={} next_seq={} stalled_rounds={}{}",
+            self.dst,
+            self.queued,
+            self.unacked,
+            self.oldest_unacked_seq.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            self.next_seq,
+            self.stalled_rounds,
+            if self.dead { " DEAD" } else { "" }
+        )
+    }
+}
+
 /// The interface between the runtime and a network backend.
 ///
 /// All message-queue operations deal in *framed envelope bytes* (see
@@ -261,5 +302,13 @@ pub trait Lamellae: Send + Sync + 'static {
     /// backend has none.
     fn fault_stats(&self) -> FaultStats {
         FaultStats::default()
+    }
+
+    /// Per-destination delivery-window diagnostics (queued/unacked chunk
+    /// counts, stuck sequence numbers, dead pairs) — consumed by the
+    /// liveness watchdog's stall dump. Backends without per-pair queues
+    /// (SMP loopback) return an empty list.
+    fn pair_liveness(&self) -> Vec<PairLiveness> {
+        Vec::new()
     }
 }

@@ -71,7 +71,7 @@
 //!
 //! [`CHUNK_HDR_LEN`]: crate::proto::CHUNK_HDR_LEN
 
-use crate::lamellae::CommError;
+use crate::lamellae::{CommError, PairLiveness};
 use crate::proto::{read_chunk_header, write_chunk_header, CHUNK_HDR_LEN};
 use lamellar_metrics::{LamellaeMetrics, LamellaeStats};
 use parking_lot::Mutex;
@@ -498,6 +498,30 @@ impl QueueTransport {
     /// call (each reported exactly once, in death order).
     pub fn take_comm_failures(&self) -> Vec<usize> {
         std::mem::take(&mut *self.failed.lock())
+    }
+
+    /// Sample every destination's delivery-window state (see
+    /// [`PairLiveness`]): what is queued, what is in flight unacked, and
+    /// which sequence number a stalled pair is stuck on. Diagnostic only
+    /// (the liveness watchdog's stall dump) — takes each out-queue lock
+    /// briefly, off the fast path.
+    pub fn pair_liveness(&self) -> Vec<PairLiveness> {
+        let me = self.ep.pe();
+        (0..self.num_pes)
+            .filter(|&dst| dst != me)
+            .map(|dst| {
+                let q = self.out[dst].lock();
+                PairLiveness {
+                    dst,
+                    queued: q.sealed.len() + usize::from(q.agg.is_some()),
+                    unacked: q.unacked.len(),
+                    oldest_unacked_seq: q.unacked.front().map(|c| c.seq),
+                    next_seq: q.next_seq,
+                    stalled_rounds: q.stalled_rounds,
+                    dead: q.dead,
+                }
+            })
+            .collect()
     }
 
     /// True when every frame and chunk for every destination has hit the

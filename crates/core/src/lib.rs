@@ -66,7 +66,8 @@ pub use lamellar_codec::{impl_codec, impl_codec_enum, Codec};
 pub mod active_messaging {
     pub mod prelude {
         pub use crate::am::{
-            AmContext, AmError, AmHandle, FallibleAmHandle, LamellarAm, MultiAmHandle,
+            AmContext, AmError, AmHandle, AmOpts, CancelOnDrop, FallibleAmHandle,
+            FallibleMultiAmHandle, IdempotentAm, LamellarAm, MultiAmHandle, RetryPolicy,
         };
         pub use crate::world::{launch, launch_with_config, LamellarWorld, LamellarWorldBuilder};
         pub use crate::{am, impl_codec, impl_codec_enum};
@@ -77,7 +78,7 @@ pub mod active_messaging {
 /// General prelude: worlds, teams, darcs, memory regions.
 pub mod prelude {
     pub use crate::active_messaging::prelude::*;
-    pub use crate::config::{Backend, WorldConfig};
+    pub use crate::config::{Backend, ConfigError, WatchdogConfig, WorldConfig};
     pub use crate::darc::Darc;
     pub use crate::lamellae::CommError;
     pub use crate::memregion::{Dist, OneSidedMemoryRegion, SharedMemoryRegion};

@@ -17,12 +17,16 @@
 //! also pump progress, so a PE blocked in a collective keeps executing AMs
 //! sent to it.
 
-use crate::am::{am_id, lookup_am, register_am, AmError, AmHandle, LamellarAm, MultiAmHandle};
+use crate::am::{
+    am_id, lookup_am, register_am, AmError, AmHandle, AmOpts, CancelToken, IdempotentAm,
+    LamellarAm, MultiAmHandle, RetryPolicy,
+};
+use crate::config::WatchdogConfig;
 use crate::lamellae::{CommError, Lamellae};
 use crate::proto::{self, frame, Envelope, EnvelopeView};
 use crate::world::WorldShared;
 use lamellar_codec::Codec;
-use lamellar_executor::{oneshot, Backoff, JoinHandle, ThreadPool};
+use lamellar_executor::{oneshot, Backoff, ExpBackoff, JoinHandle, ThreadPool};
 use lamellar_metrics::{AmMetrics, RuntimeStats};
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -30,6 +34,7 @@ use std::collections::HashMap;
 use std::future::Future;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Completion callback for one pending request: decodes the reply payload
 /// (or carries the failure — remote panic or comm breakdown) and resolves
@@ -44,6 +49,26 @@ struct Pending {
     dst: usize,
     reply: PendingReply,
 }
+
+/// Deadline bookkeeping for one remote request (DESIGN.md §4c). Lives in
+/// `RuntimeInner::deadlines`, checked on every progress tick. The first
+/// window is the request's deadline; each re-issue (idempotent AMs only)
+/// widens the window per the retry policy's exponential schedule.
+struct DeadlineEntry {
+    req_id: u64,
+    dst: usize,
+    expires: Instant,
+    /// Send attempts so far (1 = the original send).
+    attempts: u32,
+    retries_left: u32,
+    backoff: ExpBackoff,
+    /// Re-encode-and-resend closure; `None` for non-idempotent AMs (a
+    /// deadline miss then resolves straight to `Err(Timeout)`).
+    reissue: Option<ReissueFn>,
+}
+
+/// Re-encode-and-resend closure stored per retryable deadline entry.
+type ReissueFn = Box<dyn Fn(&Arc<RuntimeInner>) -> Result<(), CommError> + Send>;
 
 /// Adapter that converts a panicking future into `Err(panic message)`, so
 /// a crashed AM produces an error reply instead of stranding its caller.
@@ -96,6 +121,23 @@ pub struct RuntimeInner {
     /// AM-layer observability: directional AM counts, replies, batch
     /// fan-out, Darc lifecycle events.
     am_metrics: Arc<AmMetrics>,
+    /// World-default per-attempt response deadline for remote AMs
+    /// (`WorldConfig::am_deadline`); per-call [`AmOpts`] overrides it.
+    default_deadline: Option<Duration>,
+    /// Armed deadlines, polled by [`RuntimeInner::check_deadlines`] on the
+    /// progress path.
+    deadlines: Mutex<Vec<DeadlineEntry>>,
+    /// Bumped whenever the runtime makes observable progress (message
+    /// handled, future resolved). The watchdog reads it to detect
+    /// zero-progress intervals.
+    progress_epoch: AtomicU64,
+    /// Threads currently blocked in `wait_all`/`barrier` on this PE.
+    waiting: AtomicUsize,
+    /// Watchdog stall verdicts so far (lets `try_wait_all` detect that a
+    /// stall fired during its wait).
+    stall_events: AtomicU64,
+    /// The most recent watchdog failure, for `try_wait_all` to report.
+    last_stall: Mutex<Option<AmError>>,
 }
 
 thread_local! {
@@ -131,6 +173,7 @@ impl RuntimeInner {
         shared: Arc<WorldShared>,
         large_threshold: usize,
         metrics: bool,
+        default_deadline: Option<Duration>,
     ) -> Arc<Self> {
         Arc::new(RuntimeInner {
             pe: lamellae.my_pe(),
@@ -144,6 +187,12 @@ impl RuntimeInner {
             shutdown: AtomicBool::new(false),
             large_threshold,
             am_metrics: Arc::new(AmMetrics::new(metrics)),
+            default_deadline,
+            deadlines: Mutex::new(Vec::new()),
+            progress_epoch: AtomicU64::new(0),
+            waiting: AtomicUsize::new(0),
+            stall_events: AtomicU64::new(0),
+            last_stall: Mutex::new(None),
         })
     }
 
@@ -192,98 +241,248 @@ impl RuntimeInner {
     }
 
     /// Launch `am` on `dst`, returning a typed handle to its output.
+    /// Remote launches honor the world-default response deadline
+    /// (`WorldConfig::am_deadline`) when one is configured.
     pub fn exec_am_pe<T: LamellarAm>(self: &Arc<Self>, dst: usize, am: T) -> AmHandle<T::Output> {
+        self.exec_am_pe_inner(dst, am, None, RetryPolicy::none(), None)
+    }
+
+    /// [`RuntimeInner::exec_am_pe`] with per-call resilience options. The
+    /// deadline (per-call, falling back to the world default) resolves the
+    /// handle to `Err(AmError::Timeout)` if no reply arrives in time.
+    /// `opts.retry` is **ignored** here: a timed-out AM may have executed
+    /// remotely, so re-issuing requires the [`IdempotentAm`] assertion —
+    /// use [`RuntimeInner::exec_idempotent_am_pe`].
+    pub fn exec_am_pe_with<T: LamellarAm>(
+        self: &Arc<Self>,
+        dst: usize,
+        am: T,
+        opts: AmOpts,
+    ) -> AmHandle<T::Output> {
+        self.exec_am_pe_inner(dst, am, opts.deadline, RetryPolicy::none(), None)
+    }
+
+    /// Launch an [`IdempotentAm`] with deadline *and* retry: each deadline
+    /// miss re-encodes and re-sends the AM (same request id, so a late
+    /// first reply still wins and duplicates are dropped) with
+    /// exponentially widening windows, until `opts.retry.max_retries` is
+    /// exhausted — then `Err(AmError::Timeout)` carrying the attempt count.
+    pub fn exec_idempotent_am_pe<T: IdempotentAm>(
+        self: &Arc<Self>,
+        dst: usize,
+        am: T,
+        opts: AmOpts,
+    ) -> AmHandle<T::Output> {
+        let copy = am.clone();
+        self.exec_am_pe_inner(dst, am, opts.deadline, opts.retry, Some(copy))
+    }
+
+    fn exec_am_pe_inner<T: LamellarAm>(
+        self: &Arc<Self>,
+        dst: usize,
+        am: T,
+        deadline: Option<Duration>,
+        retry: RetryPolicy,
+        reissue_copy: Option<T>,
+    ) -> AmHandle<T::Output> {
         assert!(dst < self.num_pes, "PE {dst} out of range (world has {})", self.num_pes);
         register_am::<T>();
         self.my_pending.fetch_add(1, Ordering::AcqRel);
         let (tx, rx) = oneshot::<Result<T::Output, AmError>>();
         if dst == self.pe {
             // Local fast path: no serialization (as in the paper — local AMs
-            // are placed directly into the thread pool).
+            // are placed directly into the thread pool). Deadlines do not
+            // apply: the AM is already running here and no reply can be
+            // lost.
             self.am_metrics.record_local();
             let ctx = AmContext { rt: Arc::clone(self), src_pe: self.pe };
             let rt = Arc::clone(self);
+            let pe = self.pe;
             drop(self.pool.spawn(async move {
-                let out = CatchPanic(am.exec(ctx)).await.map_err(AmError::RemotePanic);
+                let out = CatchPanic(am.exec(ctx)).await.map_err(|msg| {
+                    rt.am_metrics.record_panic_caught();
+                    AmError::RemotePanic { pe, msg }
+                });
                 tx.send(out);
                 rt.my_pending.fetch_sub(1, Ordering::AcqRel);
+                rt.note_progress();
             }));
-        } else {
-            let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
-            let rt = Arc::clone(self);
-            self.pending.insert_reply(
+            return AmHandle { rx, cancel: None };
+        }
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let rt = Arc::clone(self);
+        self.pending.insert_reply(
+            req_id,
+            dst,
+            Box::new(move |result| {
+                let out = result.map(|bytes| {
+                    with_rt_context(&rt, || T::Output::from_bytes(bytes).expect("AM reply decode"))
+                });
+                tx.send(out);
+                rt.my_pending.fetch_sub(1, Ordering::AcqRel);
+            }),
+        );
+        if let Err(e) = self.send_request(dst, req_id, &am) {
+            self.fail_pending(req_id, AmError::Comm(e));
+        } else if let Some(window) = deadline.or(self.default_deadline) {
+            self.arm_deadline(req_id, dst, window, retry, reissue_copy);
+        }
+        AmHandle { rx, cancel: Some(CancelToken { rt: Arc::downgrade(self), req_id }) }
+    }
+
+    /// Encode `am` and push it to the wire toward `dst` under request id
+    /// `req_id` — the heap-staging path for large payloads, the zero-copy
+    /// encode-in-place path otherwise. Takes the AM by reference so
+    /// deadline-driven re-issues can resend the same request (same id:
+    /// duplicate replies are dropped by the `Reply` handler).
+    fn send_request<T: LamellarAm>(
+        self: &Arc<Self>,
+        dst: usize,
+        req_id: u64,
+        am: &T,
+    ) -> Result<(), CommError> {
+        // `encoded_len` is side-effect free (no Darc/region pinning), so
+        // it is safe to size the wire frame before encoding.
+        let payload_len = with_rt_context(self, || am.encoded_len());
+        self.am_metrics.record_sent();
+        if payload_len > self.large_threshold {
+            // Stage the payload in the one-sided heap; the receiver
+            // RDMA-gets it and sends FreeHeap back.
+            let payload = with_rt_context(self, || am.to_bytes());
+            debug_assert_eq!(payload.len(), payload_len, "encoded_len disagrees with encode");
+            // On failure the request never leaves this PE: the caller fails
+            // the future instead of hanging.
+            let off = self.lamellae.try_alloc_heap(payload.len(), 8)?;
+            // SAFETY: freshly allocated, private until the receiver is
+            // told about it, freed only on FreeHeap.
+            unsafe { self.lamellae.put(self.pe, off, &payload) };
+            let env = Envelope::LargeRequest(
+                am_id::<T>(),
                 req_id,
-                dst,
-                Box::new(move |result| {
-                    let out = result.map(|bytes| {
-                        with_rt_context(&rt, || {
-                            T::Output::from_bytes(bytes).expect("AM reply decode")
-                        })
-                    });
-                    tx.send(out);
-                    rt.my_pending.fetch_sub(1, Ordering::AcqRel);
-                }),
+                self.pe as u64,
+                off as u64,
+                payload.len() as u64,
             );
-            // `encoded_len` is side-effect free (no Darc/region pinning), so
-            // it is safe to size the wire frame before encoding.
-            let payload_len = with_rt_context(self, || am.encoded_len());
-            self.am_metrics.record_sent();
-            if payload_len > self.large_threshold {
-                // Stage the payload in the one-sided heap; the receiver
-                // RDMA-gets it and sends FreeHeap back.
-                let payload = with_rt_context(self, || am.to_bytes());
-                debug_assert_eq!(payload.len(), payload_len, "encoded_len disagrees with encode");
-                let off = match self.lamellae.try_alloc_heap(payload.len(), 8) {
-                    Ok(off) => off,
-                    Err(e) => {
-                        // Exhausted (or injected-failure) heap: the request
-                        // never leaves this PE. Fail the future, don't hang.
-                        self.fail_pending(req_id, AmError::Comm(e));
-                        return AmHandle { rx };
-                    }
-                };
-                // SAFETY: freshly allocated, private until the receiver is
-                // told about it, freed only on FreeHeap.
-                unsafe { self.lamellae.put(self.pe, off, &payload) };
-                let env = Envelope::LargeRequest(
+            if let Err(e) = self
+                .lamellae
+                .try_send_with(dst, proto::framed_len(&env), &mut |buf| frame(&env, buf))
+            {
+                self.lamellae.free_heap(self.pe, off);
+                return Err(e);
+            }
+            Ok(())
+        } else {
+            // Zero-copy send: the AM encodes straight into the
+            // aggregation buffer, no intermediate payload or frame Vec.
+            self.lamellae.try_send_with(dst, proto::framed_request_len(payload_len), &mut |buf| {
+                proto::frame_request_with(
+                    buf,
                     am_id::<T>(),
                     req_id,
                     self.pe as u64,
-                    off as u64,
-                    payload.len() as u64,
+                    payload_len,
+                    |b| with_rt_context(self, || am.encode(b)),
                 );
-                if let Err(e) =
-                    self.lamellae
-                        .try_send_with(dst, proto::framed_len(&env), &mut |buf| frame(&env, buf))
-                {
-                    self.lamellae.free_heap(self.pe, off);
-                    self.fail_pending(req_id, AmError::Comm(e));
-                }
-            } else {
-                // Zero-copy send: the AM encodes straight into the
-                // aggregation buffer, no intermediate payload or frame Vec.
-                let mut am = Some(am);
-                let sent = self.lamellae.try_send_with(
-                    dst,
-                    proto::framed_request_len(payload_len),
-                    &mut |buf| {
-                        let am = am.take().expect("send_with fill called once");
-                        proto::frame_request_with(
-                            buf,
-                            am_id::<T>(),
-                            req_id,
-                            self.pe as u64,
-                            payload_len,
-                            |b| with_rt_context(self, || am.encode(b)),
-                        );
-                    },
-                );
-                if let Err(e) = sent {
-                    self.fail_pending(req_id, AmError::Comm(e));
+            })
+        }
+    }
+
+    /// Register a deadline for an in-flight request. The first window is
+    /// the request's deadline; re-issues (idempotent AMs only) use the
+    /// retry policy's widening-window schedule.
+    fn arm_deadline<T: LamellarAm>(
+        self: &Arc<Self>,
+        req_id: u64,
+        dst: usize,
+        window: Duration,
+        retry: RetryPolicy,
+        reissue_copy: Option<T>,
+    ) {
+        let reissue = reissue_copy.map(|am| {
+            Box::new(move |rt: &Arc<RuntimeInner>| rt.send_request(dst, req_id, &am))
+                as Box<dyn Fn(&Arc<RuntimeInner>) -> Result<(), CommError> + Send>
+        });
+        let retries_left = if reissue.is_some() { retry.max_retries } else { 0 };
+        self.deadlines.lock().push(DeadlineEntry {
+            req_id,
+            dst,
+            expires: Instant::now() + window,
+            attempts: 1,
+            retries_left,
+            backoff: retry.schedule(),
+            reissue,
+        });
+    }
+
+    /// Expire overdue deadlines: re-issue idempotent AMs with retries left,
+    /// fail the rest with `Err(AmError::Timeout)`. Runs on the progress
+    /// path; uses `try_lock` so concurrent tickers never serialize here.
+    /// Returns true if any deadline fired.
+    fn check_deadlines(self: &Arc<Self>) -> bool {
+        let now = Instant::now();
+        let expired: Vec<DeadlineEntry> = {
+            let Some(mut deadlines) = self.deadlines.try_lock() else { return false };
+            if deadlines.is_empty() {
+                return false;
+            }
+            let mut expired = Vec::new();
+            let mut i = 0;
+            while i < deadlines.len() {
+                if deadlines[i].expires <= now {
+                    expired.push(deadlines.swap_remove(i));
+                } else {
+                    i += 1;
                 }
             }
+            expired
+        };
+        let mut fired = false;
+        for mut entry in expired {
+            // Entry outlived its request (reply arrived, or the pair died):
+            // just drop the bookkeeping.
+            if !self.pending.lock().contains_key(&entry.req_id) {
+                continue;
+            }
+            fired = true;
+            if entry.retries_left > 0 {
+                let reissue = entry.reissue.as_ref().expect("retries imply a reissue closure");
+                match reissue(self) {
+                    Ok(()) => {
+                        self.am_metrics.record_retry();
+                        entry.attempts += 1;
+                        entry.retries_left -= 1;
+                        entry.expires = Instant::now() + entry.backoff.next_delay();
+                        self.deadlines.lock().push(entry);
+                    }
+                    Err(e) => {
+                        // The wire itself refused (e.g. the reliable layer
+                        // already declared the peer dead): no point backing
+                        // off further.
+                        self.fail_pending(entry.req_id, AmError::Comm(e));
+                    }
+                }
+            } else {
+                self.am_metrics.record_timeout();
+                self.fail_pending(
+                    entry.req_id,
+                    AmError::Timeout { pe: entry.dst, attempts: entry.attempts },
+                );
+            }
         }
-        AmHandle { rx }
+        fired
+    }
+
+    /// Cancel an in-flight request: resolve its future to
+    /// `Err(AmError::Cancelled)` and release the pending-reply slot (so
+    /// `wait_all` stops accounting for it). Returns false if the reply
+    /// already arrived. A reply that limps home later is dropped like any
+    /// duplicate.
+    pub(crate) fn cancel_pending(self: &Arc<Self>, req_id: u64) -> bool {
+        let Some(p) = self.pending.lock().remove(&req_id) else { return false };
+        self.am_metrics.record_cancelled();
+        (p.reply)(Err(AmError::Cancelled));
+        self.note_progress();
+        true
     }
 
     /// Resolve a pending request to `Err` (delivery failed before or after
@@ -343,6 +542,7 @@ impl RuntimeInner {
 
     /// Block until every AM and task launched by this PE has completed.
     pub fn wait_all(self: &Arc<Self>) {
+        let _waiting = WaitGuard::new(self);
         let mut backoff = Backoff::new();
         loop {
             self.lamellae.flush();
@@ -357,9 +557,26 @@ impl RuntimeInner {
         }
     }
 
+    /// [`RuntimeInner::wait_all`] that reports liveness-watchdog verdicts:
+    /// if the watchdog's fail mode abandoned stalled work during this wait,
+    /// returns `Err(AmError::Stalled { .. })` (the wait still terminates —
+    /// the stalled futures were resolved to `Err`). Without a configured
+    /// watchdog this is exactly `wait_all`.
+    pub fn try_wait_all(self: &Arc<Self>) -> Result<(), AmError> {
+        let before = self.stall_events.load(Ordering::Acquire);
+        self.wait_all();
+        if self.stall_events.load(Ordering::Acquire) != before {
+            if let Some(stall) = self.last_stall.lock().take() {
+                return Err(stall);
+            }
+        }
+        Ok(())
+    }
+
     /// Global synchronization across all PEs. Keeps servicing progress (and
     /// therefore incoming AMs) while waiting.
     pub fn barrier(self: &Arc<Self>) {
+        let _waiting = WaitGuard::new(self);
         self.lamellae.flush();
         let rt = Arc::clone(self);
         self.lamellae.barrier_with(&mut || {
@@ -368,8 +585,9 @@ impl RuntimeInner {
     }
 
     /// One progress tick: drain incoming chunks, parsing each envelope in
-    /// place out of the transport's pooled receive buffer. Returns true if
-    /// any message was handled.
+    /// place out of the transport's pooled receive buffer. Also expires AM
+    /// deadlines. Returns true if any message was handled or deadline
+    /// fired.
     pub(crate) fn tick(self: &Arc<Self>) -> bool {
         let rt = Arc::clone(self);
         let any = self.lamellae.progress(&mut |src, chunk| {
@@ -378,14 +596,32 @@ impl RuntimeInner {
                 rt.handle(src, view);
             }
         });
+        let timed = self.check_deadlines();
         // Surface reliable-delivery breakdowns: every future addressed to a
         // newly dead PE resolves to Err right here, on the progress path.
         let dead = self.lamellae.take_comm_failures();
         if !dead.is_empty() {
             self.fail_pes(&dead);
+            self.note_progress();
             return true;
         }
-        any
+        if any || timed {
+            self.note_progress();
+        }
+        any || timed
+    }
+
+    /// Record observable runtime progress for the liveness watchdog.
+    #[inline]
+    fn note_progress(&self) {
+        self.progress_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Mark the current thread as blocked in a wait/barrier for the
+    /// duration of the returned guard (watchdog instrumentation for waits
+    /// implemented outside this module, e.g. team barriers).
+    pub(crate) fn wait_guard(&self) -> WaitGuard<'_> {
+        WaitGuard::new(self)
     }
 
     /// Dispatch one incoming envelope. The view borrows from the receive
@@ -420,7 +656,7 @@ impl RuntimeInner {
             EnvelopeView::ReplyErr { req_id, msg } => {
                 let Some(p) = self.pending.lock().remove(&req_id) else { return };
                 self.am_metrics.record_reply_received();
-                (p.reply)(Err(AmError::RemotePanic(msg.to_string())));
+                (p.reply)(Err(AmError::RemotePanic { pe: p.dst, msg: msg.to_string() }));
             }
             EnvelopeView::FreeHeap { offset } => {
                 self.lamellae.free_heap(self.pe, offset as usize);
@@ -452,6 +688,10 @@ impl RuntimeInner {
                     );
                 }
                 Err(msg) => {
+                    // The panic is caught *here*, on the serving PE: the
+                    // worker thread survives and the caller gets a typed
+                    // error reply instead of a stranded future.
+                    rt.am_metrics.record_panic_caught();
                     let env = Envelope::ReplyErr(req_id, msg);
                     rt.lamellae
                         .send_with(src_pe, proto::framed_len(&env), &mut |buf| frame(&env, buf));
@@ -483,6 +723,127 @@ impl RuntimeInner {
                 std::thread::sleep(std::time::Duration::from_micros(20));
             }
         }
+    }
+
+    /// The liveness watchdog (DESIGN.md §4c): runs on a dedicated thread
+    /// until shutdown, declaring a stall when this PE has been blocked in
+    /// `wait_all`/`barrier` for `cfg.interval` with remote AMs in flight
+    /// and zero runtime progress. On a verdict it emits a one-shot
+    /// diagnostic dump; in fail mode it additionally resolves the stalled
+    /// requests to `Err(AmError::Stalled)` so the wait terminates.
+    ///
+    /// Scope: the watchdog monitors *remote* liveness (its unit of blame is
+    /// the in-flight request). A wait blocked only on local tasks, or a
+    /// barrier with no requests outstanding, is never flagged.
+    pub(crate) fn watchdog_loop(self: &Arc<Self>, cfg: WatchdogConfig) {
+        let step = (cfg.interval / 4).max(Duration::from_millis(1));
+        let mut last_epoch = self.progress_epoch.load(Ordering::Acquire);
+        let mut stalled_since: Option<Instant> = None;
+        let mut dumped = false;
+        while !self.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(step);
+            let epoch = self.progress_epoch.load(Ordering::Acquire);
+            let blocked = self.waiting.load(Ordering::Acquire) > 0;
+            let remote_inflight = !self.pending.lock().is_empty();
+            if epoch != last_epoch || !blocked || !remote_inflight {
+                last_epoch = epoch;
+                stalled_since = None;
+                dumped = false; // re-arm the one-shot dump once progress resumes
+                continue;
+            }
+            let since = *stalled_since.get_or_insert_with(Instant::now);
+            let waited = since.elapsed();
+            if waited < cfg.interval {
+                continue;
+            }
+            // Verdict: >= interval of zero progress while blocked with
+            // remote work in flight. The event count is bumped *before*
+            // pending entries are failed — the moment a failed future
+            // unblocks `wait_all`, `try_wait_all` must already see both the
+            // count and `last_stall`.
+            self.am_metrics.record_stall();
+            self.stall_events.fetch_add(1, Ordering::AcqRel);
+            if !dumped {
+                self.dump_stall_diagnostic(waited);
+                dumped = true;
+            }
+            if cfg.fail {
+                self.fail_all_pending_stalled(waited);
+            }
+            // Warn mode: re-verdict (without re-dumping) after another full
+            // interval of continued silence.
+            stalled_since = None;
+        }
+    }
+
+    /// One-shot stall diagnostic: what this PE is waiting for and where the
+    /// runtime's queues stand, printed to stderr (the watchdog's audience
+    /// is a human staring at a hung job).
+    fn dump_stall_diagnostic(&self, waited: Duration) {
+        let (count, dsts) = {
+            let pending = self.pending.lock();
+            let mut dsts: Vec<usize> = pending.values().map(|p| p.dst).collect();
+            dsts.sort_unstable();
+            dsts.dedup();
+            (pending.len(), dsts)
+        };
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "[lamellar-watchdog] PE {}: zero progress for {waited:?} while blocked in wait/barrier",
+            self.pe
+        );
+        let _ = writeln!(
+            out,
+            "  in-flight remote AMs: {count} (to PEs {dsts:?}); local tasks+AMs pending: {}",
+            self.my_pending.load(Ordering::Acquire)
+        );
+        for pair in self.lamellae.pair_liveness() {
+            let _ = writeln!(out, "  pair {pair}");
+        }
+        let exec = self.pool.stats();
+        let _ = writeln!(
+            out,
+            "  executor: spawned {} completed {} stolen {} queue-depth hwm {:?}",
+            exec.spawned, exec.completed, exec.stolen, exec.queue_depth_hwm
+        );
+        eprint!("{out}");
+    }
+
+    /// Fail-mode watchdog action: resolve every pending remote request to
+    /// `Err(AmError::Stalled)` and remember one representative error for
+    /// `try_wait_all` to report.
+    fn fail_all_pending_stalled(&self, waited: Duration) {
+        let victims: Vec<Pending> = {
+            let mut pending = self.pending.lock();
+            pending.drain().map(|(_, p)| p).collect()
+        };
+        if let Some(first) = victims.first() {
+            *self.last_stall.lock() = Some(AmError::Stalled { pe: first.dst, waited });
+        }
+        // Callbacks run outside the lock (they wake user code).
+        for p in victims {
+            (p.reply)(Err(AmError::Stalled { pe: p.dst, waited }));
+        }
+    }
+}
+
+/// RAII marker that this thread is blocked in `wait_all`/`barrier` — the
+/// window in which the liveness watchdog is allowed to declare a stall.
+/// Team barriers obtain one through [`RuntimeInner::wait_guard`].
+pub(crate) struct WaitGuard<'a>(&'a RuntimeInner);
+
+impl<'a> WaitGuard<'a> {
+    fn new(rt: &'a RuntimeInner) -> Self {
+        rt.waiting.fetch_add(1, Ordering::AcqRel);
+        WaitGuard(rt)
+    }
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.waiting.fetch_sub(1, Ordering::AcqRel);
     }
 }
 

@@ -83,6 +83,7 @@ impl LamellarTeam {
     /// Barrier across the team's members, servicing runtime progress while
     /// waiting.
     pub fn barrier(&self) {
+        let _waiting = self.rt.wait_guard();
         self.rt.lamellae().flush();
         let rt = Arc::clone(&self.rt);
         self.barrier.wait_with_progress(move || {
@@ -223,6 +224,21 @@ impl LamellarTeam {
             panic!("rank {rank} out of range (team has {} PEs)", self.num_pes())
         });
         self.rt.exec_am_pe(pe, am)
+    }
+
+    /// [`exec_am_rank`](LamellarTeam::exec_am_rank) with per-call
+    /// resilience options (deadline; see
+    /// [`LamellarWorld::exec_am_pe_with`](crate::world::LamellarWorld::exec_am_pe_with)).
+    pub fn exec_am_rank_with<T: crate::am::LamellarAm>(
+        &self,
+        rank: usize,
+        am: T,
+        opts: crate::am::AmOpts,
+    ) -> crate::am::AmHandle<T::Output> {
+        let pe = *self.info.pes.get(rank).unwrap_or_else(|| {
+            panic!("rank {rank} out of range (team has {} PEs)", self.num_pes())
+        });
+        self.rt.exec_am_pe_with(pe, am, opts)
     }
 
     /// Launch `am` on every member of this team; resolves to one output

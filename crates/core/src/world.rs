@@ -12,7 +12,7 @@
 //! remains active until all other PEs are ready to deinitialize" — and only
 //! then stops its progress engine.
 
-use crate::am::{AmHandle, LamellarAm, MultiAmHandle};
+use crate::am::{AmError, AmHandle, AmOpts, IdempotentAm, LamellarAm, MultiAmHandle};
 use crate::config::{Backend, WorldConfig};
 use crate::lamellae::{queue::queue_footprint, FabricLamellae, Lamellae, SmpLamellae};
 use crate::runtime::RuntimeInner;
@@ -229,6 +229,7 @@ impl WorldShared {
 pub(crate) struct WorldGuard {
     rt: Arc<RuntimeInner>,
     progress: Mutex<Option<std::thread::JoinHandle<()>>>,
+    watchdog: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Drop for WorldGuard {
@@ -239,6 +240,9 @@ impl Drop for WorldGuard {
         self.rt.barrier();
         self.rt.shutdown.store(true, Ordering::Release);
         if let Some(h) = self.progress.lock().take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.lock().take() {
             let _ = h.join();
         }
     }
@@ -273,9 +277,53 @@ impl LamellarWorld {
         self.rt.lamellae().backend()
     }
 
-    /// Launch `am` on PE `dst`; returns a future for its output.
+    /// Launch `am` on PE `dst`; returns a future for its output. Remote
+    /// launches honor the world-default response deadline
+    /// (`WorldConfig::am_deadline`) when one is configured.
     pub fn exec_am_pe<T: LamellarAm>(&self, dst: usize, am: T) -> AmHandle<T::Output> {
         self.rt.exec_am_pe(dst, am)
+    }
+
+    /// [`exec_am_pe`](LamellarWorld::exec_am_pe) with per-call resilience
+    /// options (DESIGN.md §4c). A deadline miss resolves the handle to
+    /// `Err(AmError::Timeout)` — observe it through
+    /// [`AmHandle::fallible`](crate::am::AmHandle::fallible). `opts.retry`
+    /// is ignored here: a timed-out AM may already have executed remotely,
+    /// so automatic re-issue requires the
+    /// [`IdempotentAm`] assertion — use
+    /// [`exec_idempotent_am_pe`](LamellarWorld::exec_idempotent_am_pe).
+    ///
+    /// ```ignore
+    /// let h = world.exec_am_pe_with(1, am, AmOpts::deadline(Duration::from_millis(250)));
+    /// match world.block_on(h.fallible()) {
+    ///     Ok(out) => println!("{out:?}"),
+    ///     Err(AmError::Timeout { pe, attempts }) => eprintln!("PE {pe} silent after {attempts} attempt(s)"),
+    ///     Err(e) => eprintln!("{e}"),
+    /// }
+    /// ```
+    pub fn exec_am_pe_with<T: LamellarAm>(
+        &self,
+        dst: usize,
+        am: T,
+        opts: AmOpts,
+    ) -> AmHandle<T::Output> {
+        self.rt.exec_am_pe_with(dst, am, opts)
+    }
+
+    /// Launch an [`IdempotentAm`] with deadline
+    /// and retry: each deadline miss re-issues the AM (same request id —
+    /// duplicate replies are dropped) with exponentially widening windows
+    /// per `opts.retry`, then `Err(AmError::Timeout)` once retries are
+    /// exhausted. Retried AMs execute **at least once per delivered
+    /// attempt**; that is exactly the contract `IdempotentAm` asserts is
+    /// safe.
+    pub fn exec_idempotent_am_pe<T: IdempotentAm>(
+        &self,
+        dst: usize,
+        am: T,
+        opts: AmOpts,
+    ) -> AmHandle<T::Output> {
+        self.rt.exec_idempotent_am_pe(dst, am, opts)
     }
 
     /// Launch `am` on every PE (including this one); resolves to one output
@@ -301,6 +349,16 @@ impl LamellarWorld {
     /// Block until every AM/task launched by this PE has completed.
     pub fn wait_all(&self) {
         self.rt.wait_all();
+    }
+
+    /// [`wait_all`](LamellarWorld::wait_all) that reports liveness-watchdog
+    /// verdicts: `Err(AmError::Stalled { .. })` when a configured
+    /// fail-mode watchdog (`WorldConfig::watchdog`) abandoned stalled
+    /// in-flight AMs during this wait. The wait itself always terminates in
+    /// that case — the stalled futures were resolved to `Err`. Without a
+    /// watchdog this is exactly `wait_all` followed by `Ok(())`.
+    pub fn try_wait_all(&self) -> Result<(), AmError> {
+        self.rt.try_wait_all()
     }
 
     /// Global synchronization point across all PEs.
@@ -509,6 +567,7 @@ pub(crate) fn build_worlds(cfg: WorldConfig) -> Vec<LamellarWorld> {
                 Arc::clone(&shared),
                 cfg.agg_threshold,
                 cfg.metrics,
+                cfg.am_deadline,
             );
             let progress = {
                 let rt = Arc::clone(&rt);
@@ -517,8 +576,18 @@ pub(crate) fn build_worlds(cfg: WorldConfig) -> Vec<LamellarWorld> {
                     .spawn(move || rt.progress_loop())
                     .expect("spawn progress thread")
             };
-            let guard =
-                Arc::new(WorldGuard { rt: Arc::clone(&rt), progress: Mutex::new(Some(progress)) });
+            let watchdog = cfg.watchdog.map(|wcfg| {
+                let rt = Arc::clone(&rt);
+                std::thread::Builder::new()
+                    .name(format!("lamellar-watchdog-pe{pe}"))
+                    .spawn(move || rt.watchdog_loop(wcfg))
+                    .expect("spawn watchdog thread")
+            });
+            let guard = Arc::new(WorldGuard {
+                rt: Arc::clone(&rt),
+                progress: Mutex::new(Some(progress)),
+                watchdog: Mutex::new(watchdog),
+            });
             LamellarWorld { rt, guard: Some(guard) }
         })
         .collect();

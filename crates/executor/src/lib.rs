@@ -30,7 +30,7 @@ pub mod oneshot;
 pub mod pool;
 pub mod task;
 
-pub use backoff::Backoff;
+pub use backoff::{Backoff, ExpBackoff};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
 pub use pool::{PoolConfig, ThreadPool};
 pub use task::JoinHandle;

@@ -574,6 +574,11 @@ pub struct AmMetrics {
     batch_sub_batches: Counter,
     darcs_created: Counter,
     darcs_dropped: Counter,
+    panics_caught: Counter,
+    timeouts: Counter,
+    retries: Counter,
+    cancelled: Counter,
+    stalls: Counter,
 }
 
 impl AmMetrics {
@@ -588,6 +593,11 @@ impl AmMetrics {
             batch_sub_batches: Counter::new(),
             darcs_created: Counter::new(),
             darcs_dropped: Counter::new(),
+            panics_caught: Counter::new(),
+            timeouts: Counter::new(),
+            retries: Counter::new(),
+            cancelled: Counter::new(),
+            stalls: Counter::new(),
         }
     }
 
@@ -656,6 +666,48 @@ impl AmMetrics {
         }
     }
 
+    /// An AM handler's `exec` panicked and was caught on this (serving) PE;
+    /// the caller was sent an error reply instead.
+    #[inline]
+    pub fn record_panic_caught(&self) {
+        if self.enabled {
+            self.panics_caught.inc();
+        }
+    }
+
+    /// A pending AM was resolved to `Err(Timeout)` after its deadline (and
+    /// any retries) expired.
+    #[inline]
+    pub fn record_timeout(&self) {
+        if self.enabled {
+            self.timeouts.inc();
+        }
+    }
+
+    /// An idempotent AM was re-issued after a deadline-window expiry.
+    #[inline]
+    pub fn record_retry(&self) {
+        if self.enabled {
+            self.retries.inc();
+        }
+    }
+
+    /// A pending AM was cancelled by its caller before completion.
+    #[inline]
+    pub fn record_cancelled(&self) {
+        if self.enabled {
+            self.cancelled.inc();
+        }
+    }
+
+    /// The liveness watchdog declared a zero-progress stall verdict.
+    #[inline]
+    pub fn record_stall(&self) {
+        if self.enabled {
+            self.stalls.inc();
+        }
+    }
+
     pub fn snapshot(&self) -> AmStats {
         AmStats {
             sent: self.sent.get(),
@@ -666,6 +718,11 @@ impl AmMetrics {
             batch_sub_batches: self.batch_sub_batches.get(),
             darcs_created: self.darcs_created.get(),
             darcs_dropped: self.darcs_dropped.get(),
+            panics_caught: self.panics_caught.get(),
+            timeouts: self.timeouts.get(),
+            retries: self.retries.get(),
+            cancelled: self.cancelled.get(),
+            stalls: self.stalls.get(),
         }
     }
 }
@@ -844,6 +901,16 @@ pub struct AmStats {
     pub batch_sub_batches: u64,
     pub darcs_created: u64,
     pub darcs_dropped: u64,
+    /// AM handler panics caught on this (serving) PE.
+    pub panics_caught: u64,
+    /// Pending AMs resolved to `Err(Timeout)` after deadline expiry.
+    pub timeouts: u64,
+    /// Idempotent-AM re-issues after a deadline-window expiry.
+    pub retries: u64,
+    /// Pending AMs cancelled by their caller.
+    pub cancelled: u64,
+    /// Liveness-watchdog zero-progress stall verdicts.
+    pub stalls: u64,
 }
 
 impl AmStats {
@@ -857,6 +924,11 @@ impl AmStats {
             batch_sub_batches: self.batch_sub_batches.saturating_sub(earlier.batch_sub_batches),
             darcs_created: self.darcs_created.saturating_sub(earlier.darcs_created),
             darcs_dropped: self.darcs_dropped.saturating_sub(earlier.darcs_dropped),
+            panics_caught: self.panics_caught.saturating_sub(earlier.panics_caught),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            retries: self.retries.saturating_sub(earlier.retries),
+            cancelled: self.cancelled.saturating_sub(earlier.cancelled),
+            stalls: self.stalls.saturating_sub(earlier.stalls),
         }
     }
 }
@@ -946,6 +1018,11 @@ impl fmt::Display for RuntimeStats {
         row("am", "batch_sub_batches", self.am.batch_sub_batches.to_string())?;
         row("am", "darcs_created", self.am.darcs_created.to_string())?;
         row("am", "darcs_dropped", self.am.darcs_dropped.to_string())?;
+        row("am", "panics_caught", self.am.panics_caught.to_string())?;
+        row("am", "timeouts", self.am.timeouts.to_string())?;
+        row("am", "retries", self.am.retries.to_string())?;
+        row("am", "cancelled", self.am.cancelled.to_string())?;
+        row("am", "stalls", self.am.stalls.to_string())?;
         row("fault", "drops_injected", self.fault.drops_injected.to_string())?;
         row("fault", "dups_injected", self.fault.dups_injected.to_string())?;
         row("fault", "delays_injected", self.fault.delays_injected.to_string())?;
@@ -1013,6 +1090,11 @@ mod tests {
         let a = AmMetrics::new(false);
         a.record_sent();
         a.record_sub_batches(5);
+        a.record_panic_caught();
+        a.record_timeout();
+        a.record_retry();
+        a.record_cancelled();
+        a.record_stall();
         assert_eq!(a.snapshot(), AmStats::default());
     }
 
@@ -1047,6 +1129,12 @@ mod tests {
         am.record_sent();
         am.record_sub_batches(3);
         am.record_darc_created();
+        am.record_panic_caught();
+        am.record_timeout();
+        am.record_retry();
+        am.record_retry();
+        am.record_cancelled();
+        am.record_stall();
         fault.record_drop();
         fault.record_corruption();
         lamellae.record_retransmit();
@@ -1076,6 +1164,11 @@ mod tests {
         assert_eq!(d.am.sent, 1);
         assert_eq!(d.am.batch_sub_batches, 3);
         assert_eq!(d.am.darcs_created, 1);
+        assert_eq!(d.am.panics_caught, 1);
+        assert_eq!(d.am.timeouts, 1);
+        assert_eq!(d.am.retries, 2);
+        assert_eq!(d.am.cancelled, 1);
+        assert_eq!(d.am.stalls, 1);
         assert_eq!(d.fault.drops_injected, 1);
         assert_eq!(d.fault.corruptions_injected, 1);
         assert_eq!(d.fault.total(), 2);

@@ -4,6 +4,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Resilience-suite hygiene: panics caught by the runtime print full traces,
+# and a regression that reintroduces a hang fails the gate instead of
+# wedging CI (the suite's slowest healthy run is well under this ceiling).
+export RUST_BACKTRACE=1
+TEST_TIMEOUT="${CI_TEST_TIMEOUT:-900}"
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -13,8 +19,8 @@ cargo build --release --workspace
 echo "==> cargo build --release -p lamellar-bench (benches compile)"
 cargo build --release -p lamellar-bench --bins
 
-echo "==> cargo test -q"
-cargo test -q --workspace
+echo "==> cargo test -q (hard ${TEST_TIMEOUT}s timeout)"
+timeout --signal=KILL "$TEST_TIMEOUT" cargo test -q --workspace
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

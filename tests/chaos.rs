@@ -8,9 +8,12 @@
 //! genuinely severed. Nothing hangs, nothing panics, and payloads arrive
 //! bit-exact or not at all.
 
-use lamellar_core::am::AmError;
+use lamellar_core::am::{AmError, AmOpts, IdempotentAm, RetryPolicy};
 use lamellar_repro::prelude::*;
 use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
 
 lamellar_core::am! {
     /// Echo AM: hands the payload back to the caller, so any corruption the
@@ -153,6 +156,79 @@ fn severed_pair_resolves_to_typed_error_not_a_hang() {
     assert_eq!(outcomes[0].0, 5, "all five futures resolved to PeerUnreachable");
     assert_eq!(outcomes[0].1.lamellae.delivery_failures, 1, "one pair declared dead");
     assert!(outcomes[0].1.fault.drops_injected > 0);
+}
+
+/// Idempotent effect table shared by all simulated PEs (they share the
+/// process): key → value. Re-executing a `PutAm` re-inserts the same pair,
+/// so the final table is identical to an exactly-once execution.
+fn effects() -> &'static Mutex<HashMap<u64, u64>> {
+    static EFFECTS: OnceLock<Mutex<HashMap<u64, u64>>> = OnceLock::new();
+    EFFECTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+lamellar_core::am! {
+    /// Idempotent insert: applying it twice leaves the same state as once.
+    pub struct PutAm { pub key: u64, pub val: u64 }
+    exec(am, _ctx) -> u64 {
+        effects().lock().unwrap().insert(am.key, am.val);
+        am.val
+    }
+}
+
+impl IdempotentAm for PutAm {}
+
+#[test]
+fn chaos_delay_plus_retry_is_exactly_once_for_idempotent_ams() {
+    // Half of all chunks are delayed 8 ms — far past the 3 ms AM deadline,
+    // so deadline misses (and re-issues) are essentially guaranteed — while
+    // the transport's retransmit timer sits at 20 ms, above the delay, so
+    // recovery is driven by the AM-level retry under test rather than
+    // go-back-N. Windows widen 3 → 6 → 12 → 24 → 48 ms: by the later
+    // attempts a window comfortably covers the worst-case delayed round
+    // trip, so every request converges to Ok.
+    let fault = FaultConfig::seeded(0x1de0_b0ff).delay_prob(0.5, 8_000_000);
+    let cfg = WorldConfig::new(2)
+        .backend(Backend::Rofi)
+        .agg_threshold(256)
+        .faults(fault)
+        .retransmit_timeout(Duration::from_millis(20));
+    let opts = AmOpts::deadline(Duration::from_millis(3)).retry(RetryPolicy::exponential(
+        5,
+        Duration::from_millis(3),
+        2,
+        Duration::from_millis(48),
+    ));
+    let stats = lamellar_core::world::launch_with_config(cfg, move |world| {
+        world.barrier();
+        let before = world.stats();
+        world.barrier();
+        if world.my_pe() == 0 {
+            // Sequential: one AM in flight at a time, every reply checked.
+            for i in 0..30u64 {
+                let key = 0xe0_0000 + i;
+                let h = world.exec_idempotent_am_pe(1, PutAm { key, val: i * 3 }, opts);
+                let val = world
+                    .block_on(h.fallible())
+                    .unwrap_or_else(|e| panic!("idempotent AM {i} must converge, got {e}"));
+                assert_eq!(val, i * 3, "reply integrity for key {key:#x}");
+            }
+        }
+        world.wait_all();
+        world.barrier();
+        world.stats().delta(&before)
+    });
+    // Exactly-once *effects*: despite re-issues, the table reads as if each
+    // AM ran once.
+    let table = effects().lock().unwrap();
+    for i in 0..30u64 {
+        assert_eq!(table.get(&(0xe0_0000 + i)), Some(&(i * 3)), "effect for AM {i}");
+    }
+    assert!(stats[0].fault.delays_injected > 0, "the delay schedule must fire");
+    assert!(
+        stats[0].am.retries >= 1,
+        "8 ms delays against a 3 ms deadline must force at least one re-issue"
+    );
+    assert_eq!(stats[0].am.timeouts, 0, "widening windows must converge before retries exhaust");
 }
 
 #[test]

@@ -17,7 +17,9 @@
 //!   `before` snapshot from the phase, and the one before `after`), each
 //!   entered by 2 PEs → 4 barrier rounds.
 
+use lamellar_core::am::{AmError, AmOpts, IdempotentAm, RetryPolicy};
 use lamellar_repro::prelude::*;
+use std::time::Duration;
 
 lamellar_core::am! {
     /// Minimal AM: returns the executing PE's id.
@@ -146,6 +148,88 @@ fn buffer_pool_hit_rate_is_high_under_histo_traffic() {
             s.lamellae.pool_hwm
         );
     }
+}
+
+lamellar_core::am! {
+    /// Panics on the destination (resilience-counter fixture).
+    pub struct ObsPanicAm {}
+    exec(_am, _ctx) -> u64 {
+        panic!("observability panic fixture");
+    }
+}
+
+lamellar_core::am! {
+    /// Sleeps before replying (deadline/cancel fixture); idempotent — the
+    /// reply is a pure function of the input.
+    pub struct ObsSlowAm { pub sleep_ms: u64 }
+    exec(am, _ctx) -> u64 {
+        std::thread::sleep(std::time::Duration::from_millis(am.sleep_ms));
+        am.sleep_ms
+    }
+}
+
+impl IdempotentAm for ObsSlowAm {}
+
+/// The resilience counters (panics caught, timeouts, retries, cancels) are
+/// exact per-event deltas, assertable through the same snapshot/delta
+/// pattern as the wire counters. Only the new counters are asserted —
+/// re-issues legitimately perturb `sent`/`received` counts.
+#[test]
+fn resilience_counters_increment_exactly_per_event() {
+    let cfg = WorldConfig::new(2).backend(Backend::Rofi).agg_threshold(256);
+    let deltas = lamellar_core::world::launch_with_config(cfg, |world| {
+        world.barrier();
+        let before = world.stats();
+        world.barrier();
+        if world.my_pe() == 0 {
+            // 1 panic, caught on the serving PE (PE1).
+            match world.block_on(world.exec_am_pe(1, ObsPanicAm {}).fallible()) {
+                Err(AmError::RemotePanic { pe: 1, .. }) => {}
+                other => panic!("expected RemotePanic, got {other:?}"),
+            }
+            // 1 cancel.
+            assert!(world.exec_am_pe(1, ObsSlowAm { sleep_ms: 150 }).cancel());
+            // 1 timeout: non-idempotent path, 10 ms deadline vs a 150 ms
+            // handler — no retry is attempted.
+            let h = world.exec_am_pe_with(
+                1,
+                ObsSlowAm { sleep_ms: 150 },
+                AmOpts::deadline(Duration::from_millis(10)),
+            );
+            match world.block_on(h.fallible()) {
+                Err(AmError::Timeout { pe: 1, attempts: 1 }) => {}
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+            // 1 retry, then success: the first 10 ms window misses the
+            // 40 ms handler, the 500 ms re-issue window comfortably covers
+            // it.
+            let h = world.exec_idempotent_am_pe(
+                1,
+                ObsSlowAm { sleep_ms: 40 },
+                AmOpts::deadline(Duration::from_millis(10)).retry(RetryPolicy::exponential(
+                    3,
+                    Duration::from_millis(500),
+                    2,
+                    Duration::from_secs(1),
+                )),
+            );
+            assert_eq!(world.block_on(h.fallible()), Ok(40));
+            world.wait_all();
+        }
+        world.wait_all();
+        world.barrier();
+        // Let the abandoned handlers' late replies drain before snapshotting.
+        std::thread::sleep(Duration::from_millis(400));
+        world.barrier();
+        world.stats().delta(&before)
+    });
+    let d0 = &deltas[0];
+    assert_eq!(d0.am.cancelled, 1, "PE0 cancels");
+    assert_eq!(d0.am.timeouts, 1, "PE0 timeouts");
+    assert_eq!(d0.am.retries, 1, "PE0 re-issues");
+    assert_eq!(d0.am.stalls, 0, "no watchdog configured");
+    assert_eq!(deltas[1].am.panics_caught, 1, "PE1 panics caught");
+    assert_eq!(deltas[1].am.stalls, 0, "no watchdog configured");
 }
 
 #[test]
