@@ -9,7 +9,7 @@ use crate::elem::{ArithElem, ArrayElem, BitElem};
 use crate::inner::RawArray;
 use crate::ops::am::{AccessBatchAm, ArithBatchAm, BitBatchAm, CasBatchAm, RangeGetAm, RangePutAm};
 use crate::ops::{AccessOp, ArithOp, BatchValues, BitOp};
-use lamellar_core::am::{AmHandle, LamellarAm};
+use lamellar_core::am::{AmHandle, LamellarAm, UnitAm};
 use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll};
@@ -158,6 +158,97 @@ where
             .map(|(rank, _pos)| iters[rank as usize].next().expect("result per input"))
             .collect()
     })
+}
+
+/// Fire-and-forget fan-out: like [`launch`] but for non-fetching batches
+/// whose completion the caller awaits in bulk via `wait_all` — each
+/// sub-batch ships through the unit-AM path (reply elision + counted acks,
+/// DESIGN.md §4d), so there are no handles, no per-sub-batch `Reply`
+/// envelopes, and nothing to reassemble.
+fn launch_unit<T, R, A>(
+    raw: &RawArray<T>,
+    indices: Vec<usize>,
+    limit: usize,
+    make: impl Fn(Vec<usize>, &[usize]) -> A,
+) where
+    T: ArrayElem,
+    R: Send + 'static,
+    A: LamellarAm<Output = Vec<R>>,
+{
+    let limit = limit.max(1);
+    let Plan { bins, input_pos, .. } = plan(raw, &indices);
+    let rt = raw.region.rt().clone();
+    let mut sub_batches = 0u64;
+    for (rank, (bin, pos)) in bins.into_iter().zip(&input_pos).enumerate() {
+        if bin.is_empty() {
+            continue;
+        }
+        let pe = raw.pe_of_rank(rank);
+        let mut start = 0;
+        while start < bin.len() {
+            let end = (start + limit).min(bin.len());
+            rt.exec_unit_am_pe(pe, UnitAm(make(bin[start..end].to_vec(), &pos[start..end])));
+            sub_batches += 1;
+            start = end;
+        }
+    }
+    rt.am_metrics().record_sub_batches(sub_batches);
+}
+
+/// Fire-and-forget batched arithmetic op (completion via `wait_all`).
+pub(crate) fn batch_arith_unit<T: ArithElem>(
+    raw: &RawArray<T>,
+    limit: usize,
+    op: ArithOp,
+    indices: Vec<usize>,
+    values: BatchValues<T>,
+) {
+    let (indices, values) = crate::ops::normalize_batch(indices, values);
+    let raw2 = raw.clone();
+    launch_unit(raw, indices, limit, move |idxs, pos| ArithBatchAm {
+        raw: raw2.clone(),
+        op,
+        idxs,
+        vals: chunk_values(&values, pos),
+        fetch: false,
+    });
+}
+
+/// Fire-and-forget batched bit-wise op (completion via `wait_all`).
+pub(crate) fn batch_bit_unit<T: BitElem>(
+    raw: &RawArray<T>,
+    limit: usize,
+    op: BitOp,
+    indices: Vec<usize>,
+    values: BatchValues<T>,
+) {
+    let (indices, values) = crate::ops::normalize_batch(indices, values);
+    let raw2 = raw.clone();
+    launch_unit(raw, indices, limit, move |idxs, pos| BitBatchAm {
+        raw: raw2.clone(),
+        op,
+        idxs,
+        vals: chunk_values(&values, pos),
+        fetch: false,
+    });
+}
+
+/// Fire-and-forget batched store (completion via `wait_all`).
+pub(crate) fn batch_store_unit<T: ArrayElem>(
+    raw: &RawArray<T>,
+    limit: usize,
+    indices: Vec<usize>,
+    values: BatchValues<T>,
+) {
+    let (indices, values) = crate::ops::normalize_batch(indices, values);
+    let raw2 = raw.clone();
+    launch_unit(raw, indices, limit, move |idxs, pos| AccessBatchAm {
+        raw: raw2.clone(),
+        op: AccessOp::Store,
+        idxs,
+        vals: Some(chunk_values(&values, pos)),
+        fetch: false,
+    });
 }
 
 /// Batched arithmetic op.

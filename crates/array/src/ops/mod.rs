@@ -187,7 +187,7 @@ pub(crate) fn normalize_batch<T: ArrayElem>(
 // ---------------------------------------------------------------------------
 
 macro_rules! rmw_method_group {
-    ($batch_fn:path, $opty:ty, $(($name:ident, $fetch_name:ident, $batch_name:ident, $batch_fetch_name:ident, $op:expr, $doc:literal)),+ $(,)?) => {
+    ($batch_fn:path, $batch_unit_fn:path, $opty:ty, $(($name:ident, $fetch_name:ident, $batch_name:ident, $batch_fetch_name:ident, $batch_ff_name:ident, $op:expr, $doc:literal)),+ $(,)?) => {
         $(
             #[doc = concat!("Apply `", $doc, "` to the element at global `index` (one-sided; returns a future).")]
             pub fn $name(&self, index: usize, val: T) -> $crate::ops::ArrayOpHandle<T> {
@@ -216,6 +216,15 @@ macro_rules! rmw_method_group {
             ) -> $crate::ops::BatchFetchHandle<T> {
                 $batch_fn(&self.raw, self.batch_limit, $op, indices, vals.into(), true)
             }
+
+            #[doc = concat!("Fire-and-forget batched `", $doc, "`: no handle — each sub-batch ships through the unit-AM path (reply elision with counted completions), and `world.wait_all()` blocks until every destination PE has applied it.")]
+            pub fn $batch_ff_name(
+                &self,
+                indices: Vec<usize>,
+                vals: impl Into<$crate::ops::BatchValues<T>>,
+            ) {
+                $batch_unit_fn(&self.raw, self.batch_limit, $op, indices, vals.into())
+            }
         )+
     };
 }
@@ -227,24 +236,67 @@ macro_rules! impl_element_ops {
         impl<T: $crate::elem::ArithElem> $arr<T> {
             $crate::ops::rmw_method_group!(
                 $crate::ops::batch::batch_arith,
+                $crate::ops::batch::batch_arith_unit,
                 $crate::ops::ArithOp,
-                (add, fetch_add, batch_add, batch_fetch_add, $crate::ops::ArithOp::Add, "+"),
-                (sub, fetch_sub, batch_sub, batch_fetch_sub, $crate::ops::ArithOp::Sub, "-"),
-                (mul, fetch_mul, batch_mul, batch_fetch_mul, $crate::ops::ArithOp::Mul, "*"),
-                (div, fetch_div, batch_div, batch_fetch_div, $crate::ops::ArithOp::Div, "/"),
-                (rem, fetch_rem, batch_rem, batch_fetch_rem, $crate::ops::ArithOp::Rem, "%"),
+                (
+                    add,
+                    fetch_add,
+                    batch_add,
+                    batch_fetch_add,
+                    batch_add_ff,
+                    $crate::ops::ArithOp::Add,
+                    "+"
+                ),
+                (
+                    sub,
+                    fetch_sub,
+                    batch_sub,
+                    batch_fetch_sub,
+                    batch_sub_ff,
+                    $crate::ops::ArithOp::Sub,
+                    "-"
+                ),
+                (
+                    mul,
+                    fetch_mul,
+                    batch_mul,
+                    batch_fetch_mul,
+                    batch_mul_ff,
+                    $crate::ops::ArithOp::Mul,
+                    "*"
+                ),
+                (
+                    div,
+                    fetch_div,
+                    batch_div,
+                    batch_fetch_div,
+                    batch_div_ff,
+                    $crate::ops::ArithOp::Div,
+                    "/"
+                ),
+                (
+                    rem,
+                    fetch_rem,
+                    batch_rem,
+                    batch_fetch_rem,
+                    batch_rem_ff,
+                    $crate::ops::ArithOp::Rem,
+                    "%"
+                ),
             );
         }
 
         impl<T: $crate::elem::BitElem> $arr<T> {
             $crate::ops::rmw_method_group!(
                 $crate::ops::batch::batch_bit,
+                $crate::ops::batch::batch_bit_unit,
                 $crate::ops::BitOp,
                 (
                     bit_and,
                     fetch_bit_and,
                     batch_bit_and,
                     batch_fetch_bit_and,
+                    batch_bit_and_ff,
                     $crate::ops::BitOp::And,
                     "&"
                 ),
@@ -253,6 +305,7 @@ macro_rules! impl_element_ops {
                     fetch_bit_or,
                     batch_bit_or,
                     batch_fetch_bit_or,
+                    batch_bit_or_ff,
                     $crate::ops::BitOp::Or,
                     "|"
                 ),
@@ -261,11 +314,28 @@ macro_rules! impl_element_ops {
                     fetch_bit_xor,
                     batch_bit_xor,
                     batch_fetch_bit_xor,
+                    batch_bit_xor_ff,
                     $crate::ops::BitOp::Xor,
                     "^"
                 ),
-                (shl, fetch_shl, batch_shl, batch_fetch_shl, $crate::ops::BitOp::Shl, "<<"),
-                (shr, fetch_shr, batch_shr, batch_fetch_shr, $crate::ops::BitOp::Shr, ">>"),
+                (
+                    shl,
+                    fetch_shl,
+                    batch_shl,
+                    batch_fetch_shl,
+                    batch_shl_ff,
+                    $crate::ops::BitOp::Shl,
+                    "<<"
+                ),
+                (
+                    shr,
+                    fetch_shr,
+                    batch_shr,
+                    batch_fetch_shr,
+                    batch_shr_ff,
+                    $crate::ops::BitOp::Shr,
+                    ">>"
+                ),
             );
         }
 
@@ -321,6 +391,23 @@ macro_rules! impl_element_ops {
                     Some(vals.into()),
                     false,
                 ))
+            }
+
+            /// Fire-and-forget batched store: no handle — sub-batches ship
+            /// through the unit-AM path (reply elision with counted
+            /// completions); `world.wait_all()` blocks until every
+            /// destination PE has applied them.
+            pub fn batch_store_ff(
+                &self,
+                indices: Vec<usize>,
+                vals: impl Into<$crate::ops::BatchValues<T>>,
+            ) {
+                $crate::ops::batch::batch_store_unit(
+                    &self.raw,
+                    self.batch_limit,
+                    indices,
+                    vals.into(),
+                )
             }
 
             /// Overwrite and return the previous value.

@@ -71,12 +71,14 @@ pub fn histo_lamellar_am(world: &LamellarWorld, cfg: &TableConfig) -> KernelResu
         bins[dst].push(local);
         if bins[dst].len() >= cfg.batch {
             let idxs = std::mem::replace(&mut bins[dst], Vec::with_capacity(cfg.batch));
-            drop(world.exec_am_pe(dst, HistoBufAm { table: table.clone(), idxs }));
+            // Fire-and-forget: the increments return nothing, so elide the
+            // reply and let wait_all absorb the counted-ack completions.
+            world.exec_unit_am_pe(dst, HistoBufAm { table: table.clone(), idxs });
         }
     }
     for (dst, idxs) in bins.into_iter().enumerate() {
         if !idxs.is_empty() {
-            drop(world.exec_am_pe(dst, HistoBufAm { table: table.clone(), idxs }));
+            world.exec_unit_am_pe(dst, HistoBufAm { table: table.clone(), idxs });
         }
     }
     world.wait_all();
@@ -105,7 +107,7 @@ pub fn histo_lamellar_atomic_array(world: &LamellarWorld, cfg: &TableConfig) -> 
     world.barrier();
 
     let timer = Instant::now();
-    world.block_on(table.batch_add(rnd_i, 1)); // the histogram kernel
+    table.batch_add_ff(rnd_i, 1); // the histogram kernel, fire-and-forget
     world.wait_all();
     world.barrier();
     let elapsed = timer.elapsed();

@@ -8,6 +8,12 @@
 //!     target[i] = table[rand_i];
 //! }
 //! ```
+//!
+//! Unlike histogram/randperm this kernel *fetches* values, so every AM
+//! keeps a tracked reply — it cannot ride the fire-and-forget unit path.
+//! It still benefits from the sharded pending table: thousands of handles
+//! are outstanding at once and completions no longer serialize on one
+//! global request-map lock.
 
 pub mod baselines;
 

@@ -310,15 +310,17 @@ pub fn randperm_am_push(world: &LamellarWorld, cfg: &PermConfig) -> KernelResult
         let dst = rng.below(npes);
         bins[dst].push(d);
         if bins[dst].len() >= cfg.batch {
-            drop(world.exec_am_pe(
+            // Fire-and-forget push: no reply needed, wait_all covers
+            // completion via counted acks.
+            world.exec_unit_am_pe(
                 dst,
                 PushAm { list: list.clone(), darts: std::mem::take(&mut bins[dst]) },
-            ));
+            );
         }
     }
     for (dst, darts) in bins.into_iter().enumerate() {
         if !darts.is_empty() {
-            drop(world.exec_am_pe(dst, PushAm { list: list.clone(), darts }));
+            world.exec_unit_am_pe(dst, PushAm { list: list.clone(), darts });
         }
     }
     world.wait_all();

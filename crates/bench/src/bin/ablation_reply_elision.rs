@@ -1,0 +1,80 @@
+//! Ablation — reply elision & counted completions (DESIGN.md §4d).
+//!
+//! Runs the manually-aggregated Lamellar-AM histogram with the
+//! fire-and-forget unit path **on** (requests travel as `RequestUnit`
+//! envelopes, completion returns as bulk `AckCount` credits) and **off**
+//! (the pre-refactor tracked path: every batch AM allocates a pending slot
+//! and pays a per-op `Reply` envelope), across a sweep of aggregation
+//! batch sizes.
+//!
+//! Reported per cell: throughput in MUPS and wire envelopes per update
+//! (both directions, summed over PEs). The elided path should roughly
+//! halve wire messages per op — the reply stream collapses into a handful
+//! of cumulative acks — and the win in MUPS grows as batches shrink,
+//! because the tracked path pays one reply per AM while acks amortize.
+//!
+//! Usage: `cargo run --release -p lamellar-bench --bin
+//! ablation_reply_elision [--pes 4] [--scale 500] [--reps 2]
+//! [--batches 100,1000,10000]`
+
+use bale_suite::common::{KernelResult, TableConfig};
+use bale_suite::histo::histo_lamellar_am;
+use lamellar_bench::{arg_usize, arg_usize_list, ResultTable};
+use lamellar_core::config::{Backend, WorldConfig};
+use lamellar_core::world::launch_with_config;
+
+/// Best-of-`reps` MUPS plus wire envelopes per update for one
+/// (batch, elision) cell. Messages are counted with the runtime's own
+/// metrics (lamellae msgs_sent, summed across PEs) over a window that
+/// brackets the kernel; msgs/op is taken from the best-throughput rep.
+fn run(pes: usize, cfg: TableConfig, reps: usize, elision: bool) -> (f64, f64) {
+    let mut best = (0.0f64, 0.0f64);
+    for _ in 0..reps {
+        let wc = WorldConfig::new(pes)
+            .backend(if pes == 1 { Backend::Smp } else { Backend::Rofi })
+            .reply_elision(elision);
+        let results: Vec<(KernelResult, u64)> = launch_with_config(wc, move |world| {
+            world.barrier();
+            let before = world.stats();
+            world.barrier();
+            let r = histo_lamellar_am(&world, &cfg);
+            world.barrier();
+            (r, world.stats().delta(&before).lamellae.msgs_sent)
+        });
+        let ops = results[0].0.global_ops;
+        let worst = results.iter().map(|(r, _)| r.elapsed).max().unwrap();
+        let mups = ops as f64 / worst.as_secs_f64() / 1e6;
+        let msgs: u64 = results.iter().map(|&(_, m)| m).sum();
+        if mups > best.0 {
+            best = (mups, msgs as f64 / ops as f64);
+        }
+    }
+    best
+}
+
+fn main() {
+    let pes = arg_usize("--pes", 4);
+    let scale = arg_usize("--scale", 500);
+    let reps = arg_usize("--reps", 2);
+    let batches = arg_usize_list("--batches", &[100, 1_000, 10_000]);
+    let base = TableConfig::paper_scaled(scale);
+    println!(
+        "Ablation: reply elision, {pes}-PE AM histogram, {} updates/PE (best of {reps} reps)",
+        base.updates_per_pe
+    );
+
+    let series = ["MUPS-elided", "MUPS-tracked", "msgs/op-elided", "msgs/op-tracked"];
+    let mut table =
+        ResultTable::new("Reply elision ablation", "batch", "MUPS | wire msgs per op", &series);
+    for &batch in &batches {
+        let cfg = TableConfig { batch, ..base };
+        let (on_mups, on_msgs) = run(pes, cfg, reps, true);
+        let (off_mups, off_msgs) = run(pes, cfg, reps, false);
+        table.push_row(batch, vec![Some(on_mups), Some(off_mups), Some(on_msgs), Some(off_msgs)]);
+        eprintln!("  batch {batch}: {on_mups:.2} vs {off_mups:.2} MUPS, {on_msgs:.4} vs {off_msgs:.4} msgs/op");
+    }
+    print!("{}", table.render());
+    if let Ok(p) = table.write_csv("ablation_reply_elision") {
+        println!("csv: {}", p.display());
+    }
+}

@@ -44,6 +44,34 @@ pub trait LamellarAm: Codec + Send + Sync + 'static {
     fn exec(self, ctx: AmContext) -> impl Future<Output = Self::Output> + Send;
 }
 
+/// Adapter that discards an AM's output, making any AM eligible for the
+/// fire-and-forget unit path (DESIGN.md §4d): `UnitAm(am)` has
+/// `Output = ()`, so `exec_unit_am_pe` can ship it with reply elision. The
+/// wire payload is byte-identical to the inner AM's (the adapter adds
+/// nothing), but the type registers under its own AM id so the serving PE
+/// knows not to encode a result. The array batch layer uses this to route
+/// non-fetching batches through counted completions.
+pub struct UnitAm<A>(pub A);
+
+impl<A: LamellarAm> Codec for UnitAm<A> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf)
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+    fn decode(r: &mut lamellar_codec::Reader<'_>) -> Result<Self, CodecError> {
+        Ok(UnitAm(A::decode(r)?))
+    }
+}
+
+impl<A: LamellarAm> LamellarAm for UnitAm<A> {
+    type Output = ();
+    async fn exec(self, ctx: AmContext) {
+        let _ = self.0.exec(ctx).await;
+    }
+}
+
 /// Type-erased executor stored in the registry: decode payload, run, encode
 /// output.
 pub type ErasedExec =

@@ -48,6 +48,17 @@ pub enum Envelope {
     /// the caller's await can re-panic with a useful diagnostic instead of
     /// hanging on a reply that will never come.
     ReplyErr(u64, String),
+    /// Fire-and-forget request for a unit-output AM (DESIGN.md §4d): no
+    /// `req_id`, no pending-table slot, and no [`Envelope::Reply`] comes
+    /// back. Fields are `(am_id, src_pe, payload)`. Completion is conveyed
+    /// in bulk by [`Envelope::AckCount`].
+    RequestUnit(u64, u64, Vec<u8>),
+    /// Cumulative count of unit-AM requests from the receiving PE that this
+    /// sender has finished executing — the counted-completion half of reply
+    /// elision. Piggybacked onto whatever aggregation buffer next flushes
+    /// toward the origin; the origin decrements `my_pending` by the delta
+    /// against the last count it saw.
+    AckCount(u64),
 }
 
 impl_codec_enum!(Envelope {
@@ -56,16 +67,22 @@ impl_codec_enum!(Envelope {
     LargeRequest(am_id, req_id, src_pe, heap_offset, len),
     FreeHeap(offset),
     ReplyErr(req_id, msg),
+    RequestUnit(am_id, src_pe, payload),
+    AckCount(n),
 });
 
 // Wire discriminants as assigned by `impl_codec_enum!` (declaration order).
 // `EnvelopeView` and the in-place framing helpers must stay in lockstep with
-// the owned encode; the golden-bytes test pins all five.
+// the owned encode; the golden-bytes test pins the original five and the
+// unit-path additions are append-only (discs 5 and 6) so a pre-elision peer
+// still decodes everything it knew about.
 const DISC_REQUEST: u64 = 0;
 const DISC_REPLY: u64 = 1;
 const DISC_LARGE_REQUEST: u64 = 2;
 const DISC_FREE_HEAP: u64 = 3;
 const DISC_REPLY_ERR: u64 = 4;
+const DISC_REQUEST_UNIT: u64 = 5;
+const DISC_ACK_COUNT: u64 = 6;
 
 /// A borrowed decode of one envelope: payload bytes reference the receive
 /// buffer instead of being copied out. Byte-compatible with [`Envelope`].
@@ -76,6 +93,8 @@ pub enum EnvelopeView<'a> {
     LargeRequest { am_id: u64, req_id: u64, src_pe: u64, heap_offset: u64, len: u64 },
     FreeHeap { offset: u64 },
     ReplyErr { req_id: u64, msg: &'a str },
+    RequestUnit { am_id: u64, src_pe: u64, payload: &'a [u8] },
+    AckCount { n: u64 },
 }
 
 impl<'a> EnvelopeView<'a> {
@@ -119,6 +138,13 @@ impl<'a> EnvelopeView<'a> {
                 let msg = std::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)?;
                 Ok(EnvelopeView::ReplyErr { req_id, msg })
             }
+            DISC_REQUEST_UNIT => {
+                let am_id = u64::decode(r)?;
+                let src_pe = u64::decode(r)?;
+                let payload = take_bytes(r)?;
+                Ok(EnvelopeView::RequestUnit { am_id, src_pe, payload })
+            }
+            DISC_ACK_COUNT => Ok(EnvelopeView::AckCount { n: u64::decode(r)? }),
             value => Err(CodecError::InvalidDiscriminant { type_name: "Envelope", value }),
         }
     }
@@ -135,6 +161,10 @@ impl<'a> EnvelopeView<'a> {
             }
             EnvelopeView::FreeHeap { offset } => Envelope::FreeHeap(offset),
             EnvelopeView::ReplyErr { req_id, msg } => Envelope::ReplyErr(req_id, msg.to_string()),
+            EnvelopeView::RequestUnit { am_id, src_pe, payload } => {
+                Envelope::RequestUnit(am_id, src_pe, payload.to_vec())
+            }
+            EnvelopeView::AckCount { n } => Envelope::AckCount(n),
         }
     }
 }
@@ -202,6 +232,58 @@ pub fn frame_request_with(
         payload_len,
         "frame_request_with: fill wrote a different length than encoded_len promised"
     );
+}
+
+fn request_unit_body_len(payload_len: usize) -> usize {
+    varint::len_u64(DISC_REQUEST_UNIT) + 16 + varint::len_u64(payload_len as u64) + payload_len
+}
+
+/// Framed size of an [`Envelope::RequestUnit`] carrying `payload_len`
+/// encoded payload bytes.
+pub fn framed_request_unit_len(payload_len: usize) -> usize {
+    let body = request_unit_body_len(payload_len);
+    varint::len_u64(body as u64) + body
+}
+
+/// Frame an [`Envelope::RequestUnit`] directly into `buf` — the unit-AM
+/// analogue of [`frame_request_with`]: two fixed header words (no `req_id`),
+/// then `fill` encodes exactly `payload_len` payload bytes in place.
+pub fn frame_request_unit_with(
+    buf: &mut Vec<u8>,
+    am_id: u64,
+    src_pe: u64,
+    payload_len: usize,
+    fill: impl FnOnce(&mut Vec<u8>),
+) {
+    let body_len = request_unit_body_len(payload_len);
+    buf.reserve(varint::len_u64(body_len as u64) + body_len);
+    varint::write_len(buf, body_len);
+    varint::write_u64(buf, DISC_REQUEST_UNIT);
+    am_id.encode(buf);
+    src_pe.encode(buf);
+    varint::write_len(buf, payload_len);
+    let start = buf.len();
+    fill(buf);
+    debug_assert_eq!(
+        buf.len() - start,
+        payload_len,
+        "frame_request_unit_with: fill wrote a different length than encoded_len promised"
+    );
+}
+
+/// Framed size of an [`Envelope::AckCount`] carrying count `n`.
+pub fn framed_ack_count_len(n: u64) -> usize {
+    let body = varint::len_u64(DISC_ACK_COUNT) + n.encoded_len();
+    varint::len_u64(body as u64) + body
+}
+
+/// Frame an [`Envelope::AckCount`] directly into `buf`.
+pub fn frame_ack_count(buf: &mut Vec<u8>, n: u64) {
+    let body_len = varint::len_u64(DISC_ACK_COUNT) + n.encoded_len();
+    buf.reserve(varint::len_u64(body_len as u64) + body_len);
+    varint::write_len(buf, body_len);
+    varint::write_u64(buf, DISC_ACK_COUNT);
+    n.encode(buf);
 }
 
 fn reply_body_len(payload_len: usize) -> usize {
@@ -353,6 +435,8 @@ mod tests {
             Envelope::LargeRequest(4, 5, 6, 7, 8),
             Envelope::FreeHeap(1024),
             Envelope::ReplyErr(9, "remote AM panicked".to_string()),
+            Envelope::RequestUnit(10, 11, vec![1, 2]),
+            Envelope::AckCount(12),
         ]
     }
 
@@ -463,6 +547,50 @@ mod tests {
             frame(env, &mut buf);
             assert_eq!(&buf, golden, "wire bytes drifted for {env:?}");
         }
+    }
+
+    /// Pins the unit-path additions (discs 5 and 6) separately so the
+    /// original golden test stays untouched — append-only evolution.
+    #[test]
+    fn golden_framed_bytes_unit_envelopes() {
+        let cases: Vec<(Envelope, Vec<u8>)> = vec![
+            (
+                Envelope::RequestUnit(1, 3, vec![9, 9, 9]),
+                vec![
+                    21, // frame len
+                    5,  // disc RequestUnit
+                    1, 0, 0, 0, 0, 0, 0, 0, // am_id
+                    3, 0, 0, 0, 0, 0, 0, 0, // src_pe
+                    3, 9, 9, 9, // payload
+                ],
+            ),
+            (Envelope::AckCount(7), vec![9, 6, 7, 0, 0, 0, 0, 0, 0, 0]),
+        ];
+        for (env, golden) in &cases {
+            let mut buf = Vec::new();
+            frame(env, &mut buf);
+            assert_eq!(&buf, golden, "wire bytes drifted for {env:?}");
+        }
+    }
+
+    #[test]
+    fn in_place_unit_framing_is_byte_identical() {
+        let payload = vec![4u8, 5, 6];
+        let mut owned = Vec::new();
+        frame(&Envelope::RequestUnit(17, 2, payload.clone()), &mut owned);
+        let mut inplace = Vec::new();
+        frame_request_unit_with(&mut inplace, 17, 2, payload.len(), |buf| {
+            buf.extend_from_slice(&payload)
+        });
+        assert_eq!(owned, inplace);
+        assert_eq!(owned.len(), framed_request_unit_len(payload.len()));
+
+        let mut owned_ack = Vec::new();
+        frame(&Envelope::AckCount(900), &mut owned_ack);
+        let mut inplace_ack = Vec::new();
+        frame_ack_count(&mut inplace_ack, 900);
+        assert_eq!(owned_ack, inplace_ack);
+        assert_eq!(owned_ack.len(), framed_ack_count_len(900));
     }
 
     #[test]

@@ -50,6 +50,117 @@ struct Pending {
     reply: PendingReply,
 }
 
+/// Shard count for the pending-request table. Power of two so the modulo
+/// compiles to a mask; 64 shards keep fetching batches (e.g. IndexGather's
+/// thousands of in-flight sub-batches) from serializing insert/remove on a
+/// single lock while the progress thread drains replies.
+const PENDING_SHARDS: usize = 64;
+
+/// The pending-request table, sharded by `req_id` (DESIGN.md §4d). Request
+/// ids are allocated sequentially, so consecutive requests land on distinct
+/// shards and the sender-side insert and the progress-side remove contend
+/// only 1/64th of the time.
+struct PendingTable {
+    shards: [Mutex<HashMap<u64, Pending>>; PENDING_SHARDS],
+}
+
+impl PendingTable {
+    fn new() -> Self {
+        PendingTable { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
+
+    #[inline]
+    fn shard(&self, req_id: u64) -> &Mutex<HashMap<u64, Pending>> {
+        &self.shards[(req_id % PENDING_SHARDS as u64) as usize]
+    }
+
+    fn insert_reply(&self, req_id: u64, dst: usize, cb: PendingReply) {
+        let prev = self.shard(req_id).lock().insert(req_id, Pending { dst, reply: cb });
+        debug_assert!(prev.is_none(), "req_id collision");
+    }
+
+    fn remove(&self, req_id: u64) -> Option<Pending> {
+        self.shard(req_id).lock().remove(&req_id)
+    }
+
+    fn contains(&self, req_id: u64) -> bool {
+        self.shard(req_id).lock().contains_key(&req_id)
+    }
+
+    /// True when no request is in flight. Scans shard by shard (not
+    /// atomically across shards) — callers use it as a heuristic (watchdog
+    /// arming), never as a correctness gate.
+    fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Distinct destination PEs across every in-flight request (diagnostic).
+    fn dsts(&self) -> Vec<usize> {
+        let mut dsts: Vec<usize> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().values().map(|p| p.dst).collect::<Vec<_>>())
+            .collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        dsts
+    }
+
+    /// Remove every request addressed to a PE in `dead`.
+    fn remove_to(&self, dead: &[usize]) -> Vec<Pending> {
+        let mut victims = Vec::new();
+        for shard in &self.shards {
+            let mut map = shard.lock();
+            let ids: Vec<u64> =
+                map.iter().filter(|(_, p)| dead.contains(&p.dst)).map(|(&id, _)| id).collect();
+            victims.extend(ids.iter().map(|id| map.remove(id).expect("just listed")));
+        }
+        victims
+    }
+
+    /// Remove every in-flight request (watchdog fail mode).
+    fn drain_all(&self) -> Vec<Pending> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().drain().map(|(_, p)| p).collect::<Vec<_>>())
+            .collect()
+    }
+}
+
+/// Origin-side fire-and-forget accounting toward one destination PE. A
+/// mutex (not two atomics) so the send-count, the cumulative-ack credit,
+/// and the death-time reconciliation are mutually exclusive — otherwise a
+/// `fail_pes` racing an in-flight ack could double-decrement `my_pending`.
+#[derive(Default)]
+struct UnitOrigin {
+    /// Unit-AM requests successfully handed to the wire toward this PE.
+    sent: u64,
+    /// Highest cumulative completion count credited so far (from `AckCount`
+    /// envelopes, or forced to `sent` when the peer is declared dead).
+    acked: u64,
+}
+
+/// Inline-execution budget per progress tick: at most this many inbound AM
+/// futures are polled on the progress path before the rest of the buffer
+/// spills to the thread pool, bounding how long one tick can monopolize the
+/// progress thread behind a large aggregation buffer.
+const INLINE_BUDGET_PER_TICK: usize = 4096;
+
+/// Largest AM payload the progress thread will execute inline. Inline
+/// execution skips the pool spawn entirely (no task box, no scheduler
+/// hand-off), which measurably wins for the aggregated kernels; the cap
+/// keeps a near-`large_threshold` handler from monopolizing a progress
+/// tick, and `INLINE_BUDGET_PER_TICK` bounds the count per tick.
+const INLINE_MAX_PAYLOAD: usize = 65536;
+
+/// Completions a serving PE accumulates per source before emitting a
+/// cumulative `AckCount` mid-traffic (idle ticks flush unconditionally).
+const UNIT_ACK_BATCH: u64 = 64;
+
 /// Deadline bookkeeping for one remote request (DESIGN.md §4c). Lives in
 /// `RuntimeInner::deadlines`, checked on every progress tick. The first
 /// window is the request's deadline; each re-issue (idempotent AMs only)
@@ -108,7 +219,7 @@ pub struct RuntimeInner {
     lamellae: Arc<dyn Lamellae>,
     pool: ThreadPool,
     shared: Arc<WorldShared>,
-    pending: Mutex<HashMap<u64, Pending>>,
+    pending: PendingTable,
     next_req: AtomicU64,
     /// AMs this PE has launched that have not yet completed (drives
     /// `wait_all`, which "blocks the calling PE until all of the AMs it
@@ -138,6 +249,23 @@ pub struct RuntimeInner {
     stall_events: AtomicU64,
     /// The most recent watchdog failure, for `try_wait_all` to report.
     last_stall: Mutex<Option<AmError>>,
+    /// Whether unit-output AMs may take the fire-and-forget wire path
+    /// (`WorldConfig::reply_elision`); off, they fall back to tracked
+    /// replies — the ablation baseline.
+    reply_elision: bool,
+    /// Serving side: cumulative count of unit-AM requests from each source
+    /// PE that this PE has finished executing.
+    unit_served: Vec<AtomicU64>,
+    /// Serving side: the last cumulative count conveyed to each source via
+    /// an `AckCount` envelope (CAS-guarded so concurrent tickers emit each
+    /// credit exactly once).
+    unit_ack_sent: Vec<AtomicU64>,
+    /// Origin side: per-destination fire-and-forget accounting.
+    unit_origin: Vec<Mutex<UnitOrigin>>,
+    /// Remaining inline-execution budget for the current progress tick.
+    inline_budget: AtomicUsize,
+    /// Tick counter driving the periodic forced unit-ack flush.
+    ack_tick: AtomicU64,
 }
 
 thread_local! {
@@ -174,14 +302,16 @@ impl RuntimeInner {
         large_threshold: usize,
         metrics: bool,
         default_deadline: Option<Duration>,
+        reply_elision: bool,
     ) -> Arc<Self> {
+        let num_pes = lamellae.num_pes();
         Arc::new(RuntimeInner {
             pe: lamellae.my_pe(),
-            num_pes: lamellae.num_pes(),
+            num_pes,
             lamellae,
             pool,
             shared,
-            pending: Mutex::new(HashMap::new()),
+            pending: PendingTable::new(),
             next_req: AtomicU64::new(1),
             my_pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -193,6 +323,12 @@ impl RuntimeInner {
             waiting: AtomicUsize::new(0),
             stall_events: AtomicU64::new(0),
             last_stall: Mutex::new(None),
+            reply_elision,
+            unit_served: (0..num_pes).map(|_| AtomicU64::new(0)).collect(),
+            unit_ack_sent: (0..num_pes).map(|_| AtomicU64::new(0)).collect(),
+            unit_origin: (0..num_pes).map(|_| Mutex::new(UnitOrigin::default())).collect(),
+            inline_budget: AtomicUsize::new(0),
+            ack_tick: AtomicU64::new(0),
         })
     }
 
@@ -275,6 +411,143 @@ impl RuntimeInner {
     ) -> AmHandle<T::Output> {
         let copy = am.clone();
         self.exec_am_pe_inner(dst, am, opts.deadline, opts.retry, Some(copy))
+    }
+
+    /// Launch a unit-output AM fire-and-forget (DESIGN.md §4d): no oneshot,
+    /// no pending-table slot, and no `Reply` envelope comes back. The launch
+    /// still counts toward `my_pending`, so `wait_all`/quiet semantics are
+    /// preserved — the serving PE's cumulative [`Envelope::AckCount`]
+    /// credits retire it. Calls that need a deadline or retry must use the
+    /// tracked [`RuntimeInner::exec_am_pe_with`] path instead.
+    ///
+    /// Falls back to the tracked path when elision is disabled
+    /// (`WorldConfig::reply_elision(false)`) or the payload exceeds the
+    /// heap-staging threshold.
+    pub fn exec_unit_am_pe<T: LamellarAm<Output = ()>>(self: &Arc<Self>, dst: usize, am: T) {
+        assert!(dst < self.num_pes, "PE {dst} out of range (world has {})", self.num_pes);
+        register_am::<T>();
+        if dst == self.pe {
+            // Local fast path: no serialization, no completion plumbing at
+            // all beyond the `my_pending` count.
+            self.am_metrics.record_local();
+            self.my_pending.fetch_add(1, Ordering::AcqRel);
+            let ctx = AmContext { rt: Arc::clone(self), src_pe: self.pe };
+            let rt = Arc::clone(self);
+            drop(self.pool.spawn(async move {
+                if CatchPanic(am.exec(ctx)).await.is_err() {
+                    rt.am_metrics.record_panic_caught();
+                }
+                rt.my_pending.fetch_sub(1, Ordering::AcqRel);
+                rt.note_progress();
+            }));
+            return;
+        }
+        let payload_len = with_rt_context(self, || am.encoded_len());
+        if !self.reply_elision || payload_len > self.large_threshold {
+            // Tracked fallback: the large-payload heap-staging handshake
+            // needs a req_id, and with elision off every AM measures the
+            // ablation baseline. Dropping the handle is fine — `my_pending`
+            // still tracks it.
+            drop(self.exec_am_pe(dst, am));
+            return;
+        }
+        self.am_metrics.record_sent();
+        self.am_metrics.record_unit_sent();
+        self.my_pending.fetch_add(1, Ordering::AcqRel);
+        // The send-count bump and the wire hand-off stay under one lock so
+        // an `AckCount` (or a peer-death reconciliation) can never observe a
+        // sent count that excludes a message already on the wire.
+        let sent = {
+            let mut origin = self.unit_origin[dst].lock();
+            let res = self.lamellae.try_send_with(
+                dst,
+                proto::framed_request_unit_len(payload_len),
+                &mut |buf| {
+                    proto::frame_request_unit_with(
+                        buf,
+                        am_id::<T>(),
+                        self.pe as u64,
+                        payload_len,
+                        |b| with_rt_context(self, || am.encode(b)),
+                    );
+                },
+            );
+            if res.is_ok() {
+                origin.sent += 1;
+            }
+            res.is_ok()
+        };
+        if !sent {
+            // The request never left this PE (peer already declared dead):
+            // fire-and-forget has no future to fail, so just stop counting
+            // it — the tracked path's dropped handle would swallow the same
+            // error unseen.
+            self.my_pending.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Total fire-and-forget launches not yet credited by an `AckCount`.
+    fn unit_outstanding(&self) -> u64 {
+        self.unit_origin
+            .iter()
+            .map(|o| {
+                let o = o.lock();
+                o.sent - o.acked
+            })
+            .sum()
+    }
+
+    /// Credit a cumulative completion count from serving PE `from`: retire
+    /// `n - acked` launches from `my_pending`. Late or duplicate acks (after
+    /// a peer-death reconciliation forced `acked = sent`) are no-ops.
+    fn handle_ack(&self, from: usize, n: u64) {
+        self.am_metrics.record_ack_received();
+        let mut origin = self.unit_origin[from].lock();
+        let n = n.min(origin.sent);
+        if n > origin.acked {
+            let delta = (n - origin.acked) as usize;
+            origin.acked = n;
+            drop(origin);
+            self.my_pending.fetch_sub(delta, Ordering::AcqRel);
+            self.note_progress();
+        }
+    }
+
+    /// Serving side: piggyback a cumulative `AckCount` toward every source
+    /// PE whose completed-unit count has advanced since the last one sent.
+    /// Runs on every progress tick; the CAS ensures each credit is emitted
+    /// exactly once even with wait_all/barrier tickers running concurrently
+    /// with the progress thread. A send toward a dead peer is dropped — the
+    /// origin reconciles through its own comm-failure path, mirroring how a
+    /// tracked `Reply` toward a dead PE is lost.
+    ///
+    /// Emission is batched: while traffic is flowing (`!idle`) a credit is
+    /// only sent once `UNIT_ACK_BATCH` completions have accumulated —
+    /// otherwise the spinning progress thread would stream one tiny ack
+    /// per handful of completions, contending the outbound queue lock with
+    /// the main thread's sends. An idle tick flushes unconditionally, so
+    /// an origin blocked in `wait_all` is credited within one progress
+    /// iteration of the last completion.
+    fn flush_unit_acks(&self, idle: bool) {
+        for src in 0..self.num_pes {
+            if src == self.pe {
+                continue;
+            }
+            let served = self.unit_served[src].load(Ordering::Acquire);
+            let sent = self.unit_ack_sent[src].load(Ordering::Acquire);
+            if served > sent
+                && (idle || served - sent >= UNIT_ACK_BATCH)
+                && self.unit_ack_sent[src]
+                    .compare_exchange(sent, served, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                let _ = self.lamellae.try_send_with(
+                    src,
+                    proto::framed_ack_count_len(served),
+                    &mut |buf| proto::frame_ack_count(buf, served),
+                );
+            }
+        }
     }
 
     fn exec_am_pe_inner<T: LamellarAm>(
@@ -440,7 +713,7 @@ impl RuntimeInner {
         for mut entry in expired {
             // Entry outlived its request (reply arrived, or the pair died):
             // just drop the bookkeeping.
-            if !self.pending.lock().contains_key(&entry.req_id) {
+            if !self.pending.contains(entry.req_id) {
                 continue;
             }
             fired = true;
@@ -478,7 +751,7 @@ impl RuntimeInner {
     /// already arrived. A reply that limps home later is dropped like any
     /// duplicate.
     pub(crate) fn cancel_pending(self: &Arc<Self>, req_id: u64) -> bool {
-        let Some(p) = self.pending.lock().remove(&req_id) else { return false };
+        let Some(p) = self.pending.remove(req_id) else { return false };
         self.am_metrics.record_cancelled();
         (p.reply)(Err(AmError::Cancelled));
         self.note_progress();
@@ -488,7 +761,7 @@ impl RuntimeInner {
     /// Resolve a pending request to `Err` (delivery failed before or after
     /// the wire). No-op if a reply beat the failure to it.
     fn fail_pending(&self, req_id: u64, err: AmError) {
-        if let Some(p) = self.pending.lock().remove(&req_id) {
+        if let Some(p) = self.pending.remove(req_id) {
             (p.reply)(Err(err));
         }
     }
@@ -497,16 +770,26 @@ impl RuntimeInner {
     /// the reliable-delivery layer reports exhausted retries. The futures
     /// resolve to [`CommError::PeerUnreachable`] instead of hanging.
     fn fail_pes(&self, dead: &[usize]) {
-        let victims: Vec<Pending> = {
-            let mut pending = self.pending.lock();
-            let ids: Vec<u64> =
-                pending.iter().filter(|(_, p)| dead.contains(&p.dst)).map(|(&id, _)| id).collect();
-            ids.iter().map(|id| pending.remove(id).expect("just listed")).collect()
-        };
+        let victims = self.pending.remove_to(dead);
         // Callbacks run outside the lock: they complete oneshots and may
         // wake arbitrary user code.
         for p in victims {
             (p.reply)(Err(AmError::Comm(CommError::PeerUnreachable { pe: p.dst })));
+        }
+        // Fire-and-forget launches toward the dead PEs will never be acked:
+        // reconcile by crediting them now (forcing `acked = sent` also
+        // neutralizes any ack that limps home later).
+        let mut reclaimed = 0usize;
+        for &pe in dead {
+            if pe >= self.num_pes {
+                continue;
+            }
+            let mut origin = self.unit_origin[pe].lock();
+            reclaimed += (origin.sent - origin.acked) as usize;
+            origin.acked = origin.sent;
+        }
+        if reclaimed > 0 {
+            self.my_pending.fetch_sub(reclaimed, Ordering::AcqRel);
         }
     }
 
@@ -589,6 +872,7 @@ impl RuntimeInner {
     /// deadlines. Returns true if any message was handled or deadline
     /// fired.
     pub(crate) fn tick(self: &Arc<Self>) -> bool {
+        self.inline_budget.store(INLINE_BUDGET_PER_TICK, Ordering::Relaxed);
         let rt = Arc::clone(self);
         let any = self.lamellae.progress(&mut |src, chunk| {
             for body in proto::deframe_raw(chunk) {
@@ -596,6 +880,13 @@ impl RuntimeInner {
                 rt.handle(src, view);
             }
         });
+        // Piggyback counted-completion credits onto whatever flushes next
+        // toward each unit-AM source (DESIGN.md §4d). A quiet tick flushes
+        // partial credits so blocked origins never wait on the batch; the
+        // periodic force bounds credit latency even if *unrelated* traffic
+        // keeps every tick busy indefinitely.
+        let force = !any || self.ack_tick.fetch_add(1, Ordering::Relaxed) % 256 == 255;
+        self.flush_unit_acks(force);
         let timed = self.check_deadlines();
         // Surface reliable-delivery breakdowns: every future addressed to a
         // newly dead PE resolves to Err right here, on the progress path.
@@ -628,11 +919,15 @@ impl RuntimeInner {
     /// buffer; data that must outlive this call (the AM future's state, the
     /// typed reply value) is produced by the typed decode, not by copying
     /// the raw bytes first.
-    fn handle(self: &Arc<Self>, _wire_src: usize, env: EnvelopeView<'_>) {
+    fn handle(self: &Arc<Self>, wire_src: usize, env: EnvelopeView<'_>) {
         match env {
             EnvelopeView::Request { am_id, req_id, src_pe, payload } => {
                 self.dispatch_request(am_id, req_id, src_pe as usize, payload);
             }
+            EnvelopeView::RequestUnit { am_id, src_pe, payload } => {
+                self.dispatch_unit_request(am_id, src_pe as usize, payload);
+            }
+            EnvelopeView::AckCount { n } => self.handle_ack(wire_src, n),
             EnvelopeView::LargeRequest { am_id, req_id, src_pe, heap_offset, len } => {
                 let src_pe = src_pe as usize;
                 let mut payload = vec![0u8; len as usize];
@@ -649,12 +944,12 @@ impl RuntimeInner {
                 // already failed as PeerUnreachable (one direction died) and
                 // the reply limped home anyway. Drop it — the future has
                 // resolved.
-                let Some(p) = self.pending.lock().remove(&req_id) else { return };
+                let Some(p) = self.pending.remove(req_id) else { return };
                 self.am_metrics.record_reply_received();
                 (p.reply)(Ok(payload));
             }
             EnvelopeView::ReplyErr { req_id, msg } => {
-                let Some(p) = self.pending.lock().remove(&req_id) else { return };
+                let Some(p) = self.pending.remove(req_id) else { return };
                 self.am_metrics.record_reply_received();
                 (p.reply)(Err(AmError::RemotePanic { pe: p.dst, msg: msg.to_string() }));
             }
@@ -664,7 +959,13 @@ impl RuntimeInner {
         }
     }
 
-    fn dispatch_request(self: &Arc<Self>, am_id: u64, req_id: u64, src_pe: usize, payload: &[u8]) {
+    /// Decode an inbound AM and return its (panic-guarded) erased future.
+    fn decode_am(
+        self: &Arc<Self>,
+        am_id: u64,
+        src_pe: usize,
+        payload: &[u8],
+    ) -> CatchPanic<std::pin::Pin<Box<dyn Future<Output = Vec<u8>> + Send>>> {
         self.am_metrics.record_received();
         let vtable = lookup_am(am_id).unwrap_or_else(|| {
             panic!("incoming AM with unregistered id {am_id:#x} — register_am on every PE")
@@ -675,28 +976,102 @@ impl RuntimeInner {
         // point the payload bytes leave the receive buffer.
         let fut = with_rt_context(self, || (vtable.exec)(payload, ctx))
             .unwrap_or_else(|e| panic!("AM payload decode failed for {}: {e}", vtable.name));
+        CatchPanic(fut)
+    }
+
+    /// Claim one unit of this tick's inline-execution budget.
+    #[inline]
+    fn take_inline_budget(&self) -> bool {
+        self.inline_budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Is an AM with this payload size a candidate for inline execution?
+    ///
+    /// Payload size is the only work proxy available before decoding, and
+    /// it is a good one for the aggregated kernels: a big payload means a
+    /// big batch (thousands of table updates), and running those on the
+    /// single progress thread would *serialize* work the pool executes in
+    /// parallel — measurably losing throughput. Small payloads mean
+    /// latency-bound handlers where skipping the spawn is pure win.
+    #[inline]
+    fn inline_eligible(&self, payload_len: usize) -> bool {
+        payload_len <= INLINE_MAX_PAYLOAD && self.take_inline_budget()
+    }
+
+    fn dispatch_request(self: &Arc<Self>, am_id: u64, req_id: u64, src_pe: usize, payload: &[u8]) {
+        let payload_len = payload.len();
+        let mut fut = self.decode_am(am_id, src_pe, payload);
+        // Inline fast path: poll once on the progress path. Synchronous
+        // handlers complete immediately and their reply is framed straight
+        // into the aggregation buffer — no pool spawn, no task box churn.
+        if self.inline_eligible(payload_len) {
+            if let std::task::Poll::Ready(out) = poll_once(std::pin::Pin::new(&mut fut)) {
+                self.am_metrics.record_inline_exec();
+                self.send_reply(src_pe, req_id, out);
+                return;
+            }
+        }
+        self.am_metrics.record_spilled_exec();
         let rt = Arc::clone(self);
         drop(self.pool.spawn(async move {
-            let out = CatchPanic(fut).await;
-            rt.am_metrics.record_reply_sent();
-            match out {
-                Ok(out_bytes) => {
-                    rt.lamellae.send_with(
-                        src_pe,
-                        proto::framed_reply_len(out_bytes.len()),
-                        &mut |buf| proto::frame_reply(buf, req_id, &out_bytes),
-                    );
-                }
-                Err(msg) => {
-                    // The panic is caught *here*, on the serving PE: the
-                    // worker thread survives and the caller gets a typed
-                    // error reply instead of a stranded future.
-                    rt.am_metrics.record_panic_caught();
-                    let env = Envelope::ReplyErr(req_id, msg);
-                    rt.lamellae
-                        .send_with(src_pe, proto::framed_len(&env), &mut |buf| frame(&env, buf));
-                }
+            let out = fut.await;
+            rt.send_reply(src_pe, req_id, out);
+        }));
+    }
+
+    /// Frame the outcome of a tracked AM back to its origin: a `Reply` on
+    /// success, a `ReplyErr` carrying the caught panic otherwise.
+    fn send_reply(&self, src_pe: usize, req_id: u64, out: Result<Vec<u8>, String>) {
+        self.am_metrics.record_reply_sent();
+        match out {
+            Ok(out_bytes) => {
+                self.lamellae.send_with(
+                    src_pe,
+                    proto::framed_reply_len(out_bytes.len()),
+                    &mut |buf| proto::frame_reply(buf, req_id, &out_bytes),
+                );
             }
+            Err(msg) => {
+                // The panic is caught *here*, on the serving PE: the worker
+                // thread survives and the caller gets a typed error reply
+                // instead of a stranded future.
+                self.am_metrics.record_panic_caught();
+                let env = Envelope::ReplyErr(req_id, msg);
+                self.lamellae
+                    .send_with(src_pe, proto::framed_len(&env), &mut |buf| frame(&env, buf));
+            }
+        }
+    }
+
+    /// Dispatch a fire-and-forget unit AM: execute it (inline when the
+    /// budget allows and the handler is synchronous, on the pool otherwise)
+    /// and bump the per-source served count. No reply of any kind is sent —
+    /// [`RuntimeInner::flush_unit_acks`] conveys completion in bulk. A
+    /// panicking unit AM still counts as served (the origin's `wait_all`
+    /// must terminate); the panic is recorded, not reported.
+    fn dispatch_unit_request(self: &Arc<Self>, am_id: u64, src_pe: usize, payload: &[u8]) {
+        let payload_len = payload.len();
+        let mut fut = self.decode_am(am_id, src_pe, payload);
+        if self.inline_eligible(payload_len) {
+            if let std::task::Poll::Ready(out) = poll_once(std::pin::Pin::new(&mut fut)) {
+                self.am_metrics.record_inline_exec();
+                if out.is_err() {
+                    self.am_metrics.record_panic_caught();
+                }
+                self.unit_served[src_pe].fetch_add(1, Ordering::AcqRel);
+                return;
+            }
+        }
+        self.am_metrics.record_spilled_exec();
+        let rt = Arc::clone(self);
+        drop(self.pool.spawn(async move {
+            if fut.await.is_err() {
+                rt.am_metrics.record_panic_caught();
+            }
+            rt.unit_served[src_pe].fetch_add(1, Ordering::AcqRel);
+            rt.note_progress();
         }));
     }
 
@@ -710,6 +1085,13 @@ impl RuntimeInner {
     /// Number of AMs/tasks this PE has launched and not yet completed.
     pub fn pending_count(&self) -> usize {
         self.my_pending.load(Ordering::Acquire)
+    }
+
+    /// Number of outstanding *tracked* (reply-carrying) request slots on
+    /// this PE. Unit AMs never allocate one — their completion is counted
+    /// via cumulative acks — so a pure fire-and-forget workload reads 0.
+    pub fn pending_handles(&self) -> usize {
+        self.pending.len()
     }
 
     /// The progress engine: runs on a dedicated thread until shutdown.
@@ -744,7 +1126,7 @@ impl RuntimeInner {
             std::thread::sleep(step);
             let epoch = self.progress_epoch.load(Ordering::Acquire);
             let blocked = self.waiting.load(Ordering::Acquire) > 0;
-            let remote_inflight = !self.pending.lock().is_empty();
+            let remote_inflight = !self.pending.is_empty() || self.unit_outstanding() > 0;
             if epoch != last_epoch || !blocked || !remote_inflight {
                 last_epoch = epoch;
                 stalled_since = None;
@@ -780,13 +1162,8 @@ impl RuntimeInner {
     /// runtime's queues stand, printed to stderr (the watchdog's audience
     /// is a human staring at a hung job).
     fn dump_stall_diagnostic(&self, waited: Duration) {
-        let (count, dsts) = {
-            let pending = self.pending.lock();
-            let mut dsts: Vec<usize> = pending.values().map(|p| p.dst).collect();
-            dsts.sort_unstable();
-            dsts.dedup();
-            (pending.len(), dsts)
-        };
+        let count = self.pending.len();
+        let dsts = self.pending.dsts();
         let mut out = String::new();
         use std::fmt::Write as _;
         let _ = writeln!(
@@ -796,7 +1173,8 @@ impl RuntimeInner {
         );
         let _ = writeln!(
             out,
-            "  in-flight remote AMs: {count} (to PEs {dsts:?}); local tasks+AMs pending: {}",
+            "  in-flight remote AMs: {count} (to PEs {dsts:?}); unacked unit AMs: {}; local tasks+AMs pending: {}",
+            self.unit_outstanding(),
             self.my_pending.load(Ordering::Acquire)
         );
         for pair in self.lamellae.pair_liveness() {
@@ -815,12 +1193,26 @@ impl RuntimeInner {
     /// `Err(AmError::Stalled)` and remember one representative error for
     /// `try_wait_all` to report.
     fn fail_all_pending_stalled(&self, waited: Duration) {
-        let victims: Vec<Pending> = {
-            let mut pending = self.pending.lock();
-            pending.drain().map(|(_, p)| p).collect()
-        };
+        let victims = self.pending.drain_all();
+        // Abandon unacked fire-and-forget launches too, or a stalled
+        // unit-only workload would leave `wait_all` spinning forever.
+        let mut reclaimed = 0usize;
+        let mut stalled_unit_dst = None;
+        for (pe, origin) in self.unit_origin.iter().enumerate() {
+            let mut o = origin.lock();
+            if o.sent > o.acked {
+                stalled_unit_dst.get_or_insert(pe);
+                reclaimed += (o.sent - o.acked) as usize;
+                o.acked = o.sent;
+            }
+        }
         if let Some(first) = victims.first() {
             *self.last_stall.lock() = Some(AmError::Stalled { pe: first.dst, waited });
+        } else if let Some(pe) = stalled_unit_dst {
+            *self.last_stall.lock() = Some(AmError::Stalled { pe, waited });
+        }
+        if reclaimed > 0 {
+            self.my_pending.fetch_sub(reclaimed, Ordering::AcqRel);
         }
         // Callbacks run outside the lock (they wake user code).
         for p in victims {
@@ -847,16 +1239,27 @@ impl Drop for WaitGuard<'_> {
     }
 }
 
-/// Small extension so `exec_am_pe` can insert while documenting intent.
-trait PendingMap {
-    fn insert_reply(&self, req_id: u64, dst: usize, cb: PendingReply);
+/// A `Waker` that does nothing: the inline fast path polls each inbound AM
+/// future exactly once on the progress path, so a wake has nowhere to go —
+/// a future that returns `Pending` is handed to the thread pool, which
+/// installs its own waker on the next poll (futures re-register their waker
+/// every poll per the `Future` contract).
+fn noop_waker() -> std::task::Waker {
+    use std::task::{RawWaker, RawWakerVTable, Waker};
+    fn clone(_: *const ()) -> RawWaker {
+        RawWaker::new(std::ptr::null(), &VTABLE)
+    }
+    fn noop(_: *const ()) {}
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, noop, noop, noop);
+    // SAFETY: every vtable entry is a no-op over a null data pointer.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
 }
 
-impl PendingMap for Mutex<HashMap<u64, Pending>> {
-    fn insert_reply(&self, req_id: u64, dst: usize, cb: PendingReply) {
-        let prev = self.lock().insert(req_id, Pending { dst, reply: cb });
-        debug_assert!(prev.is_none(), "req_id collision");
-    }
+/// Poll `fut` once with a no-op waker (the inline-execution probe).
+fn poll_once<F: Future + Unpin>(fut: std::pin::Pin<&mut F>) -> std::task::Poll<F::Output> {
+    let waker = noop_waker();
+    let mut cx = std::task::Context::from_waker(&waker);
+    F::poll(fut, &mut cx)
 }
 
 impl std::fmt::Debug for RuntimeInner {

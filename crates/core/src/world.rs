@@ -284,6 +284,26 @@ impl LamellarWorld {
         self.rt.exec_am_pe(dst, am)
     }
 
+    /// Launch a unit-output AM fire-and-forget (DESIGN.md §4d): no handle,
+    /// no per-op `Reply` envelope — completion is conveyed in bulk by the
+    /// serving PE's cumulative `AckCount` credits, and
+    /// [`wait_all`](LamellarWorld::wait_all) still blocks until every
+    /// launch has executed remotely. The natural idiom for one-way updates
+    /// (histogram increments, pushes) that used to be written
+    /// `drop(world.exec_am_pe(dst, am))`. Calls that need a deadline or
+    /// retry must use the tracked
+    /// [`exec_am_pe_with`](LamellarWorld::exec_am_pe_with) path.
+    pub fn exec_unit_am_pe<T: LamellarAm<Output = ()>>(&self, dst: usize, am: T) {
+        self.rt.exec_unit_am_pe(dst, am)
+    }
+
+    /// Number of outstanding *tracked* (reply-carrying) request slots on
+    /// this PE. Unit AMs never allocate one, so a pure fire-and-forget
+    /// workload reads 0 here even mid-flight.
+    pub fn pending_handles(&self) -> usize {
+        self.rt.pending_handles()
+    }
+
     /// [`exec_am_pe`](LamellarWorld::exec_am_pe) with per-call resilience
     /// options (DESIGN.md §4c). A deadline miss resolves the handle to
     /// `Err(AmError::Timeout)` — observe it through
@@ -568,6 +588,7 @@ pub(crate) fn build_worlds(cfg: WorldConfig) -> Vec<LamellarWorld> {
                 cfg.agg_threshold,
                 cfg.metrics,
                 cfg.am_deadline,
+                cfg.reply_elision,
             );
             let progress = {
                 let rt = Arc::clone(&rt);

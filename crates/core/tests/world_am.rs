@@ -110,6 +110,32 @@ fn wait_all_blocks_until_detached_ams_complete() {
 }
 
 #[test]
+fn wait_all_blocks_until_unit_ams_complete() {
+    // The fire-and-forget path has no handles at all: completion is
+    // conveyed by counted acks, and the side effects must all be visible
+    // once every PE passes wait_all + barrier. Self-sends exercise the
+    // local pool-spawn branch.
+    use lamellar_core::darc::Darc;
+    lamellar_core::am! {
+        pub struct UnitBump { pub counter: Darc<AtomicUsize> }
+        exec(am, _ctx) -> () {
+            am.counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let results = launch(4, |world| {
+        let counter = Darc::new(&world.team(), AtomicUsize::new(0));
+        world.barrier();
+        for pe in 0..world.num_pes() {
+            world.exec_unit_am_pe(pe, UnitBump { counter: counter.clone() });
+        }
+        world.wait_all();
+        world.barrier();
+        counter.load(Ordering::Relaxed)
+    });
+    assert_eq!(results, vec![4, 4, 4, 4]);
+}
+
+#[test]
 fn spawned_futures_run_on_the_pool() {
     let results = launch(2, |world| {
         let counter = Arc::new(AtomicUsize::new(0));

@@ -579,6 +579,10 @@ pub struct AmMetrics {
     retries: Counter,
     cancelled: Counter,
     stalls: Counter,
+    unit_sent: Counter,
+    acks_received: Counter,
+    inline_execs: Counter,
+    spilled_execs: Counter,
 }
 
 impl AmMetrics {
@@ -598,6 +602,10 @@ impl AmMetrics {
             retries: Counter::new(),
             cancelled: Counter::new(),
             stalls: Counter::new(),
+            unit_sent: Counter::new(),
+            acks_received: Counter::new(),
+            inline_execs: Counter::new(),
+            spilled_execs: Counter::new(),
         }
     }
 
@@ -708,6 +716,41 @@ impl AmMetrics {
         }
     }
 
+    /// A unit-output AM took the fire-and-forget wire path (reply elided;
+    /// completion via counted acks).
+    #[inline]
+    pub fn record_unit_sent(&self) {
+        if self.enabled {
+            self.unit_sent.inc();
+        }
+    }
+
+    /// A cumulative `AckCount` envelope arrived from a serving PE.
+    #[inline]
+    pub fn record_ack_received(&self) {
+        if self.enabled {
+            self.acks_received.inc();
+        }
+    }
+
+    /// An inbound AM completed inline on the progress path (one poll, no
+    /// pool spawn).
+    #[inline]
+    pub fn record_inline_exec(&self) {
+        if self.enabled {
+            self.inline_execs.inc();
+        }
+    }
+
+    /// An inbound AM returned `Pending` (or the inline budget was spent)
+    /// and spilled to the thread pool.
+    #[inline]
+    pub fn record_spilled_exec(&self) {
+        if self.enabled {
+            self.spilled_execs.inc();
+        }
+    }
+
     pub fn snapshot(&self) -> AmStats {
         AmStats {
             sent: self.sent.get(),
@@ -723,6 +766,10 @@ impl AmMetrics {
             retries: self.retries.get(),
             cancelled: self.cancelled.get(),
             stalls: self.stalls.get(),
+            unit_sent: self.unit_sent.get(),
+            acks_received: self.acks_received.get(),
+            inline_execs: self.inline_execs.get(),
+            spilled_execs: self.spilled_execs.get(),
         }
     }
 }
@@ -911,6 +958,15 @@ pub struct AmStats {
     pub cancelled: u64,
     /// Liveness-watchdog zero-progress stall verdicts.
     pub stalls: u64,
+    /// Fire-and-forget unit AMs sent (reply elided; counted-ack completion).
+    pub unit_sent: u64,
+    /// Cumulative `AckCount` envelopes received from serving PEs.
+    pub acks_received: u64,
+    /// Inbound AMs completed inline on the progress path (no pool spawn).
+    pub inline_execs: u64,
+    /// Inbound AMs that returned `Pending` (or exhausted the inline budget)
+    /// and spilled to the thread pool.
+    pub spilled_execs: u64,
 }
 
 impl AmStats {
@@ -929,6 +985,10 @@ impl AmStats {
             retries: self.retries.saturating_sub(earlier.retries),
             cancelled: self.cancelled.saturating_sub(earlier.cancelled),
             stalls: self.stalls.saturating_sub(earlier.stalls),
+            unit_sent: self.unit_sent.saturating_sub(earlier.unit_sent),
+            acks_received: self.acks_received.saturating_sub(earlier.acks_received),
+            inline_execs: self.inline_execs.saturating_sub(earlier.inline_execs),
+            spilled_execs: self.spilled_execs.saturating_sub(earlier.spilled_execs),
         }
     }
 }
@@ -1023,6 +1083,10 @@ impl fmt::Display for RuntimeStats {
         row("am", "retries", self.am.retries.to_string())?;
         row("am", "cancelled", self.am.cancelled.to_string())?;
         row("am", "stalls", self.am.stalls.to_string())?;
+        row("am", "unit_sent", self.am.unit_sent.to_string())?;
+        row("am", "acks_received", self.am.acks_received.to_string())?;
+        row("am", "inline_execs", self.am.inline_execs.to_string())?;
+        row("am", "spilled_execs", self.am.spilled_execs.to_string())?;
         row("fault", "drops_injected", self.fault.drops_injected.to_string())?;
         row("fault", "dups_injected", self.fault.dups_injected.to_string())?;
         row("fault", "delays_injected", self.fault.delays_injected.to_string())?;
@@ -1095,6 +1159,10 @@ mod tests {
         a.record_retry();
         a.record_cancelled();
         a.record_stall();
+        a.record_unit_sent();
+        a.record_ack_received();
+        a.record_inline_exec();
+        a.record_spilled_exec();
         assert_eq!(a.snapshot(), AmStats::default());
     }
 
@@ -1135,6 +1203,11 @@ mod tests {
         am.record_retry();
         am.record_cancelled();
         am.record_stall();
+        am.record_unit_sent();
+        am.record_unit_sent();
+        am.record_ack_received();
+        am.record_inline_exec();
+        am.record_spilled_exec();
         fault.record_drop();
         fault.record_corruption();
         lamellae.record_retransmit();
@@ -1169,6 +1242,10 @@ mod tests {
         assert_eq!(d.am.retries, 2);
         assert_eq!(d.am.cancelled, 1);
         assert_eq!(d.am.stalls, 1);
+        assert_eq!(d.am.unit_sent, 2);
+        assert_eq!(d.am.acks_received, 1);
+        assert_eq!(d.am.inline_execs, 1);
+        assert_eq!(d.am.spilled_execs, 1);
         assert_eq!(d.fault.drops_injected, 1);
         assert_eq!(d.fault.corruptions_injected, 1);
         assert_eq!(d.fault.total(), 2);
@@ -1214,6 +1291,10 @@ mod tests {
         assert!(table.contains("batch_sub_batches"));
         assert!(table.contains("retransmits"));
         assert!(table.contains("drops_injected"));
+        assert!(table.contains("unit_sent"));
+        assert!(table.contains("acks_received"));
+        assert!(table.contains("inline_execs"));
+        assert!(table.contains("spilled_execs"));
     }
 
     #[test]

@@ -26,7 +26,8 @@ fn main() {
             .collect::<Vec<_>>();
         world.barrier();
         let timer = Instant::now();
-        world.block_on(table.batch_add(rnd_i, 1)); // histogram kernel
+        table.batch_add_ff(rnd_i, 1); // histogram kernel, fire-and-forget
+        world.wait_all(); // counted acks: all remote adds have executed
         world.barrier();
         if world.my_pe() == 0 {
             println!("Elapsed time: {:?}", timer.elapsed());

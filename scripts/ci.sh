@@ -22,6 +22,11 @@ cargo build --release -p lamellar-bench --bins
 echo "==> cargo test -q (hard ${TEST_TIMEOUT}s timeout)"
 timeout --signal=KILL "$TEST_TIMEOUT" cargo test -q --workspace
 
+echo "==> perf smoke: unit-AM histogram gate (aggregation factor, zero replies)"
+# Deterministic counts, not timings: a tiny 4-PE unit-AM histogram must show
+# zero reply envelopes and a healthy envelopes-per-chunk aggregation factor.
+cargo test -q --release --test perf_smoke
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

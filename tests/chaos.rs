@@ -158,6 +158,69 @@ fn severed_pair_resolves_to_typed_error_not_a_hang() {
     assert!(outcomes[0].1.fault.drops_injected > 0);
 }
 
+/// Unit-AM effect table shared by all simulated PEs (they share the
+/// process): key → execution count. Lets the fire-and-forget test prove
+/// both completeness (every key present) and exactly-once delivery (every
+/// count is 1) without any reply channel to observe.
+fn unit_effects() -> &'static Mutex<HashMap<u64, u64>> {
+    static EFFECTS: OnceLock<Mutex<HashMap<u64, u64>>> = OnceLock::new();
+    EFFECTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+lamellar_core::am! {
+    /// Fire-and-forget insert: the only evidence it ran is the side effect.
+    pub struct UnitPutAm { pub key: u64 }
+    exec(am, _ctx) -> () {
+        *unit_effects().lock().unwrap().entry(am.key).or_insert(0) += 1;
+    }
+}
+
+/// The reply-elided path under drop faults: requests travel as
+/// `RequestUnit` envelopes with no per-op reply, completion is conveyed by
+/// cumulative `AckCount` credits, and both ride the same reliable
+/// (go-back-N) transport. Drops must therefore stall neither the updates
+/// nor `wait_all` — and duplicate suppression keeps effects exactly-once.
+#[test]
+fn chaos_drops_unit_am_workload_completes_exactly_once() {
+    const MSGS: u64 = 80;
+    let fault = FaultConfig::seeded(0x0f1e_d00d).drop_prob(0.10);
+    let cfg = WorldConfig::new(2).backend(Backend::Rofi).agg_threshold(256).faults(fault);
+    let stats = lamellar_core::world::launch_with_config(cfg, move |world| {
+        world.barrier();
+        let before = world.stats();
+        world.barrier();
+        let me = world.my_pe() as u64;
+        let dst = (world.my_pe() + 1) % world.num_pes();
+        for i in 0..MSGS {
+            world.exec_unit_am_pe(dst, UnitPutAm { key: (me << 32) | i });
+        }
+        world.wait_all(); // must terminate: ack credits are retransmitted too
+        world.barrier();
+        world.stats().delta(&before)
+    });
+    let table = unit_effects().lock().unwrap();
+    for me in 0..2u64 {
+        for i in 0..MSGS {
+            let key = (me << 32) | i;
+            assert_eq!(
+                table.get(&key),
+                Some(&1),
+                "unit AM (pe {me}, msg {i}) must execute exactly once"
+            );
+        }
+    }
+    assert!(stats[0].fault.drops_injected > 0, "10% drops over this traffic must fire");
+    assert!(
+        stats.iter().map(|s| s.lamellae.retransmits).sum::<u64>() > 0,
+        "dropped chunks must be replayed by go-back-N"
+    );
+    for (pe, d) in stats.iter().enumerate() {
+        assert_eq!(d.am.unit_sent, MSGS, "PE{pe} unit sends");
+        assert_eq!(d.am.replies_sent, 0, "PE{pe} replies stay elided under faults");
+        assert_eq!(d.lamellae.delivery_failures, 0, "PE{pe}: no pair death at 10% drops");
+    }
+}
+
 /// Idempotent effect table shared by all simulated PEs (they share the
 /// process): key → value. Re-executing a `PutAm` re-inserts the same pair,
 /// so the final table is identical to an exactly-once execution.

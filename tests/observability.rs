@@ -92,10 +92,12 @@ fn two_pe_am_round_trip_increments_every_layer() {
         );
         assert_eq!(d.fabric.put_sizes.count(), 4, "PE{pe} put-size histogram");
 
-        // Executor layer (per PE): the local AM and the incoming remote AM
-        // each spawn one task. Completion of the reply-sending task can
-        // race the final snapshot, so only spawns are exact.
-        assert_eq!(d.executor.spawned, 2, "PE{pe} tasks spawned");
+        // Executor layer (per PE): only the local AM spawns a pool task.
+        // The incoming remote AM is synchronous, so the progress thread
+        // completes it inline (one poll) and never touches the executor.
+        assert_eq!(d.executor.spawned, 1, "PE{pe} tasks spawned");
+        assert_eq!(d.am.inline_execs, 1, "PE{pe} remote AM executed inline");
+        assert_eq!(d.am.spilled_execs, 0, "PE{pe} nothing spilled to the pool");
         assert!(d.executor.completed >= 1, "PE{pe} tasks completed");
     }
 
@@ -109,8 +111,8 @@ fn two_pe_am_round_trip_increments_every_layer() {
 lamellar_core::am! {
     /// Histogram-style update: bump a slot index (fire-and-forget shape).
     pub struct Bump { pub slot: u64 }
-    exec(am, _ctx) -> u64 {
-        am.slot
+    exec(am, _ctx) -> () {
+        let _ = am.slot;
     }
 }
 
@@ -129,7 +131,7 @@ fn buffer_pool_hit_rate_is_high_under_histo_traffic() {
         for _round in 0..50 {
             for _ in 0..200 {
                 let dst = (world.my_pe() + 1) % world.num_pes();
-                drop(world.exec_am_pe(dst, Bump { slot }));
+                world.exec_unit_am_pe(dst, Bump { slot });
                 slot += 1;
             }
             world.wait_all();
@@ -146,6 +148,47 @@ fn buffer_pool_hit_rate_is_high_under_histo_traffic() {
             s.lamellae.pool_hits,
             s.lamellae.pool_misses,
             s.lamellae.pool_hwm
+        );
+    }
+}
+
+/// A pure fire-and-forget workload must elide *every* reply: each launch
+/// travels as a `RequestUnit` envelope, completion comes back as bulk
+/// `AckCount` credits, and no per-request pending slot is ever allocated.
+/// All counters below are exact except `acks_received` (the serving PE
+/// coalesces credits per flush, so only a lower bound is deterministic).
+#[test]
+fn unit_am_workload_elides_every_reply() {
+    const N: u64 = 100;
+    let cfg = WorldConfig::new(2).backend(Backend::Rofi).agg_threshold(256);
+    let deltas = lamellar_core::world::launch_with_config(cfg, |world| {
+        world.barrier();
+        let before = world.stats();
+        world.barrier();
+
+        let dst = (world.my_pe() + 1) % world.num_pes();
+        for slot in 0..N {
+            world.exec_unit_am_pe(dst, Bump { slot });
+        }
+        world.wait_all();
+        // Reply elision means no tracked request slots, even transiently:
+        // the pending table never saw these AMs at all.
+        assert_eq!(world.pending_handles(), 0, "unit AMs must not allocate pending slots");
+
+        world.barrier();
+        world.stats().delta(&before)
+    });
+    for (pe, d) in deltas.iter().enumerate() {
+        assert_eq!(d.am.sent, N, "PE{pe} remote AMs sent");
+        assert_eq!(d.am.unit_sent, N, "PE{pe} unit (reply-elided) sends");
+        assert_eq!(d.am.received, N, "PE{pe} AMs received");
+        assert_eq!(d.am.replies_sent, 0, "PE{pe} must elide every reply");
+        assert_eq!(d.am.replies_received, 0, "PE{pe} must receive no replies");
+        assert!(d.am.acks_received >= 1, "PE{pe} saw at least one ack credit");
+        assert_eq!(
+            d.am.inline_execs + d.am.spilled_execs,
+            N,
+            "PE{pe} every received unit AM executed inline or spilled"
         );
     }
 }
